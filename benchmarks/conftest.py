@@ -1,0 +1,21 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one paper table/figure (or one quantitative
+extension) exactly once per round, prints the regenerated rows -- "the same
+rows/series the paper reports" -- and asserts the qualitative shape that
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit(result) -> None:
+    """Print the regenerated table under the benchmark's output."""
+    print()
+    print(result.render())

@@ -1,0 +1,13 @@
+"""F1: one object distributed across four address spaces (Fig. 1),
+regenerated as a live system and verified structurally."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import run_fig1
+
+
+def test_bench_fig1(benchmark):
+    result = run_once(benchmark, run_fig1, seed=0)
+    emit(result)
+    assert result.data["n_spaces"] >= 4
+    roles = result.data["store_roles"]
+    assert {"permanent", "object-initiated", "client-initiated"} <= set(roles)

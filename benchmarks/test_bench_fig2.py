@@ -1,0 +1,23 @@
+"""F2: the layered store system model (Fig. 2), measured as per-layer
+staleness with the object model enforced only down to the mirror layer."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.figures import run_fig2
+from repro.replication.policy import StoreScope
+
+
+def test_bench_fig2(benchmark):
+    result = run_once(benchmark, run_fig2, seed=0)
+    emit(result)
+    layers = result.data["layers"]
+    assert layers["permanent"]["enforced"]
+    assert not layers["client-initiated"]["enforced"]
+    # Staleness grows down the hierarchy.
+    assert layers["permanent"]["time_lag"] <= \
+        layers["client-initiated"]["time_lag"]
+
+
+def test_bench_fig2_all_scope_enforces_everywhere(benchmark):
+    result = run_once(benchmark, run_fig2, seed=0, scope=StoreScope.ALL)
+    emit(result)
+    assert all(layer["enforced"] for layer in result.data["layers"].values())

@@ -1,0 +1,15 @@
+"""F3: the conference-page deployment of Fig. 3, replayed end to end."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.conference import run_conference
+
+
+def test_bench_fig3(benchmark):
+    result = run_once(benchmark, run_conference, seed=0, updates=10, reads=12)
+    emit(result)
+    assert result.data["pram_violations"] == []
+    assert result.data["ryw_violations"] == []
+    # Cache M demand-updates (client reaction); cache U mostly waits for
+    # the periodic push.
+    assert result.data["demand_from_cache_m"] > \
+        result.data["demand_from_cache_u"]

@@ -1,0 +1,12 @@
+"""F4: the Globe implementation mechanics of Fig. 4 -- WiD sequencing and
+the per-store expected-write vectors."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.conference import run_fig4_wid_flow
+
+
+def test_bench_fig4(benchmark):
+    result = run_once(benchmark, run_fig4_wid_flow, seed=0)
+    emit(result)
+    assert result.data["vectors"] == [(1, 1, 1), (2, 2, 2), (3, 3, 3)]
+    assert result.data["pram_violations"] == []

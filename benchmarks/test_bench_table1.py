@@ -1,0 +1,61 @@
+"""T1: regenerate Table 1 (implementation parameters) from the live enums.
+
+The table is rendered from the same enum objects the replication engine
+dispatches on, so it cannot drift from the implementation; the benchmark
+also touches every parameter axis by validating a policy per value.
+"""
+
+import itertools
+
+from benchmarks.conftest import emit, run_once
+from repro.coherence.models import CoherenceModel
+from repro.experiments.tables import run_table1
+from repro.replication.policy import (
+    AccessTransfer,
+    CoherenceTransfer,
+    PolicyError,
+    Propagation,
+    ReplicationPolicy,
+    StoreScope,
+    TransferInitiative,
+    TransferInstant,
+    WriteSet,
+)
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, run_table1)
+    emit(result)
+    assert result.data["parameter_count"] == 7
+
+
+def test_bench_table1_full_axis_space(benchmark):
+    """Validate every raw combination of the Table-1 axes (x each model)."""
+
+    def sweep():
+        valid = 0
+        rejected = 0
+        for combo in itertools.product(
+            CoherenceModel, Propagation, StoreScope, WriteSet,
+            TransferInitiative, TransferInstant, AccessTransfer,
+            CoherenceTransfer,
+        ):
+            policy = ReplicationPolicy(
+                model=combo[0], propagation=combo[1], store_scope=combo[2],
+                write_set=combo[3], transfer_initiative=combo[4],
+                transfer_instant=combo[5], access_transfer=combo[6],
+                coherence_transfer=combo[7],
+            )
+            try:
+                policy.validate()
+                valid += 1
+            except PolicyError:
+                rejected += 1
+        return valid, rejected
+
+    valid, rejected = run_once(benchmark, sweep)
+    total = valid + rejected
+    print(f"\npolicy space: {total} combinations, {valid} valid, "
+          f"{rejected} rejected by validation")
+    assert total == 5 * 2 * 3 * 2 * 2 * 2 * 2 * 3
+    assert valid > rejected

@@ -1,0 +1,22 @@
+"""T2: regenerate Table 2 (the conference example's strategy values) and
+prove the policy object it renders from actually delivers PRAM + RYW."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.conference import run_conference
+from repro.experiments.tables import run_table2
+
+
+def test_bench_table2(benchmark):
+    result = run_once(benchmark, run_table2)
+    emit(result)
+    rows = dict(result.data["policy"].table2_rows())
+    assert rows["Store"] == "all"
+    assert rows["Coherence transfer type"] == "partial"
+
+
+def test_bench_table2_policy_validated_by_execution(benchmark):
+    result = run_once(benchmark, run_conference, seed=0, updates=8, reads=10)
+    emit(result)
+    assert result.data["pram_violations"] == []
+    assert result.data["ryw_violations"] == []
+    assert result.data["converged"]

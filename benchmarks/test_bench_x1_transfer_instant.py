@@ -1,0 +1,23 @@
+"""X1: transfer instant -- immediate vs lazy aggregated updates for a hot,
+frequently-written object (Section 3.3's aggregation argument)."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.sweeps import run_transfer_instant
+
+
+def test_bench_x1_transfer_instant(benchmark):
+    result = run_once(benchmark, run_transfer_instant, seed=0, writes=40,
+                      n_caches=8, lazy_intervals=(1.0, 5.0, 20.0))
+    emit(result)
+    measured = result.data["measured"]
+    immediate = measured["immediate"]
+    lazy5 = measured["lazy (5s)"]
+    lazy20 = measured["lazy (20s)"]
+    # Aggregation cuts coherence traffic monotonically with window size...
+    assert lazy5.traffic.coherence_messages < \
+        immediate.traffic.coherence_messages
+    assert lazy20.traffic.coherence_messages <= \
+        lazy5.traffic.coherence_messages
+    # ... and buys it with staleness.
+    assert immediate.stale_fraction == 0.0
+    assert lazy5.mean_time_lag > immediate.mean_time_lag

@@ -1,0 +1,24 @@
+"""X2: consistency propagation -- update vs invalidate across read/write
+ratios (the crossover the paper argues for in Section 3.3)."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.sweeps import run_propagation
+
+
+def test_bench_x2_propagation(benchmark):
+    result = run_once(benchmark, run_propagation, seed=0, writes=30,
+                      read_ratios=(0.2, 1.0, 5.0), n_caches=4)
+    emit(result)
+    measured = result.data["measured"]
+    # Rare readers: invalidation avoids shipping unread content.
+    assert measured[(0.2, "invalidate")].traffic.bytes_sent < \
+        measured[(0.2, "update")].traffic.bytes_sent
+    # Heavy readers: update propagation serves reads locally and faster.
+    assert measured[(5.0, "update")].mean_read_latency <= \
+        measured[(5.0, "invalidate")].mean_read_latency
+    # The byte gap narrows as reads increase (each read refetches).
+    gap_low = (measured[(0.2, "update")].traffic.bytes_sent
+               - measured[(0.2, "invalidate")].traffic.bytes_sent)
+    gap_high = (measured[(5.0, "update")].traffic.bytes_sent
+                - measured[(5.0, "invalidate")].traffic.bytes_sent)
+    assert gap_high < gap_low

@@ -1,0 +1,21 @@
+"""X3: per-object strategies vs one global strategy -- the paper's headline
+claim (Section 1), measured against the classical proxy-caching baselines."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.per_object import run_per_object
+
+
+def test_bench_x3_per_object(benchmark):
+    result = run_once(benchmark, run_per_object, seed=0)
+    emit(result)
+    measured = result.data["measured"]
+    fw_origin, fw_stale, fw_latency = measured["per-object (framework)"]
+    va_origin, _, va_latency = measured["global validation"]
+    _, ttl_stale, _ = measured["global TTL (8s)"]
+    nc_origin, _, nc_latency = measured["no caching"]
+    # Per-object policies beat validation/no-caching on origin load and
+    # read latency, and beat TTL on freshness.
+    assert fw_origin < va_origin
+    assert fw_origin < nc_origin
+    assert fw_latency < va_latency
+    assert fw_stale < ttl_stale

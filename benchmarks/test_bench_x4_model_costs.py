@@ -1,0 +1,24 @@
+"""X4: the coherence-model cost ladder (Section 3.2.1's strength ordering,
+priced in messages, bytes and latency)."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.model_costs import MODEL_ORDER, run_model_costs
+
+
+def test_bench_x4_model_costs(benchmark):
+    result = run_once(benchmark, run_model_costs, seed=0)
+    emit(result)
+    measured = result.data["measured"]
+    # Strong models pay a forwarding round trip per write; eventual
+    # accepts writes at the local cache.
+    assert measured["eventual"]["metrics"].mean_write_latency < \
+        measured["sequential"]["metrics"].mean_write_latency
+    # Weaker models ship fewer bytes (FIFO/eventual drop superseded
+    # writes; eventual also skips the forwarding hop).
+    assert measured["eventual"]["metrics"].traffic.bytes_sent < \
+        measured["pram"]["metrics"].traffic.bytes_sent
+    # Every model converges by content, and strong models keep PRAM.
+    for model in MODEL_ORDER:
+        assert measured[model.value]["converged"], model
+    for name in ("sequential", "causal", "pram"):
+        assert measured[name]["pram_violations"] == 0

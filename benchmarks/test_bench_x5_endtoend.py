@@ -1,0 +1,20 @@
+"""X5: reliability as a side effect of the coherence model (Section 4.2's
+end-to-end argument): UDP + demand reaction matches TCP; UDP + wait stalls."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.endtoend import run_endtoend
+
+
+def test_bench_x5_endtoend(benchmark):
+    result = run_once(benchmark, run_endtoend, seed=0, loss_rate=0.15,
+                      writes=15, horizon=60.0)
+    emit(result)
+    measured = result.data["measured"]
+    assert measured["TCP + wait"]["caught_up"]
+    assert not measured["UDP + wait"]["caught_up"]
+    assert measured["UDP + demand"]["caught_up"]
+    assert measured["UDP + demand"]["pram_violations"] == 0
+    assert measured["UDP + demand"]["demands"] > 0
+    # The recovery cost is modest relative to the TCP reference traffic.
+    assert measured["UDP + demand"]["messages"] < \
+        3 * measured["TCP + wait"]["messages"]

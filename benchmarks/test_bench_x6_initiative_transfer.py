@@ -1,0 +1,24 @@
+"""X6: transfer initiative (push vs pull) and transfer types (partial vs
+full) -- the remaining Table-1 axes, measured."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.sweeps import run_initiative_and_transfer
+
+
+def test_bench_x6_initiative_transfer(benchmark):
+    result = run_once(benchmark, run_initiative_and_transfer, seed=0,
+                      writes=20, n_caches=4)
+    emit(result)
+    measured = result.data["measured"]
+    partial = measured[("push", "immediate", "partial", "partial")]
+    full = measured[("push", "immediate", "full", "full")]
+    pull_now = measured[("pull", "immediate", "partial", "partial")]
+    pull_lazy = measured[("pull", "lazy", "partial", "partial")]
+    # Full transfer ships the whole ten-page document per change.
+    assert full.traffic.bytes_sent > 2 * partial.traffic.bytes_sent
+    # Pull-on-access pays an upstream round trip per read.
+    assert pull_now.mean_read_latency > partial.mean_read_latency
+    assert pull_now.stale_fraction == 0.0
+    # Periodic pull trades that latency for staleness.
+    assert pull_lazy.mean_read_latency < pull_now.mean_read_latency
+    assert pull_lazy.stale_fraction > 0.0

@@ -1,0 +1,21 @@
+"""X7: what enforcing session guarantees costs (demand traffic, latency)
+and buys (zero violations) -- design decision D2 ablated."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.sessions import run_sessions
+
+
+def test_bench_x7_sessions(benchmark):
+    result = run_once(benchmark, run_sessions, seed=0, updates=8)
+    emit(result)
+    measured = result.data["measured"]
+    off = measured["off (check only)"]
+    on = measured["on (RYW + MR enforced)"]
+    # Check-only mode observes real violations under lazy propagation.
+    assert off["violations"]["ryw"] > 0
+    # Enforcement eliminates them...
+    assert on["violations"]["ryw"] == 0
+    assert on["violations"]["mr"] == 0
+    # ... and pays in demand-updates and read latency.
+    assert on["demands"] > off["demands"]
+    assert on["read_latency"] >= off["read_latency"]

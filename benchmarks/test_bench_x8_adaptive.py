@@ -1,0 +1,21 @@
+"""X8: self-adaptive policies -- the paper's §5 future work, implemented
+and ablated against the static policy it would replace."""
+
+from benchmarks.conftest import emit, run_once
+from repro.experiments.adaptive import run_adaptive
+
+
+def test_bench_x8_adaptive(benchmark):
+    result = run_once(benchmark, run_adaptive, seed=0, edits=20, reads=10,
+                      n_caches=4)
+    emit(result)
+    measured = result.data["measured"]
+    static = measured["static (update/immediate)"]["metrics"]
+    adaptive = measured["adaptive"]["metrics"]
+    # The controller aggregates the editing burst: fewer coherence
+    # messages and bytes than the static immediate-update policy.
+    assert adaptive.traffic.coherence_messages < \
+        static.traffic.coherence_messages
+    assert adaptive.traffic.bytes_sent < static.traffic.bytes_sent
+    # It adapts at least twice (into lazy, back out).
+    assert len(measured["adaptive"]["events"]) >= 2

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Self-adaptive replication for a magazine-like Web object.
+
+The paper leaves self-adaptive policies as future work (§5); this example
+runs the implementation: during the editing burst the controller switches
+the object to lazy, invalidation-based propagation; when the readership
+arrives it switches back to immediate updates.
+
+Run:  python examples/adaptive_magazine.py
+"""
+
+from repro.experiments.adaptive import run_adaptive
+
+
+def main() -> None:
+    result = run_adaptive(seed=3, edits=20, reads=10, n_caches=4)
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

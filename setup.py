@@ -1,0 +1,15 @@
+"""Legacy setup shim for offline editable installs (no wheel available)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "A framework for consistent, replicated web objects "
+        "(ICDCS 1998 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,19 @@
+"""Classical Web caching baselines (S12).
+
+The status quo the paper argues against (Section 1): one global caching
+strategy for every page.  Implemented over the same simulated network as
+the framework so experiment X3 can compare like with like:
+
+- **validation caching** -- every proxy hit revalidates with an
+  if-modified-since round trip (the "never returns an outdated page"
+  scheme);
+- **TTL caching** -- entries are assumed valid until an expiration time
+  (the weaker scheme that can serve stale pages);
+- **no caching** -- every read goes to the origin.
+"""
+
+from repro.baselines.origin import HttpOrigin
+from repro.baselines.proxy import CacheMode, HttpProxy
+from repro.baselines.browser import HttpBrowser
+
+__all__ = ["CacheMode", "HttpBrowser", "HttpOrigin", "HttpProxy"]

@@ -1,0 +1,94 @@
+"""The baseline origin Web server.
+
+Speaks a minimal HTTP-like protocol: ``GET`` with optional
+if-modified-since, ``PUT`` to replace a page.  Pages are modified "only by
+their owner", the assumption of classic Web cache coherence the paper
+quotes.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Optional
+
+from repro.comm.endpoint import CommunicationObject
+from repro.comm.message import Message
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.web.document import WebDocument
+
+GET = "http_get"
+PUT = "http_put"
+OK = "http_200"
+NOT_MODIFIED = "http_304"
+NOT_FOUND = "http_404"
+CREATED = "http_201"
+
+
+class HttpOrigin:
+    """Authoritative server for a set of pages."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: str = "origin",
+        pages: Optional[dict] = None,
+    ) -> None:
+        self.sim = sim
+        self.address = address
+        self.document = WebDocument(pages=pages, clock=lambda: sim.now)
+        self.comm = CommunicationObject(sim, network, address)
+        self.comm.set_handler(self._on_message)
+        self.counters: collections.Counter = collections.Counter()
+
+    def _on_message(self, src: str, message: Message) -> None:
+        if message.kind == GET:
+            self._on_get(src, message)
+        elif message.kind == PUT:
+            self._on_put(src, message)
+
+    def _on_get(self, src: str, message: Message) -> None:
+        self.counters["get"] += 1
+        name = message.body["page"]
+        ims = message.body.get("if_modified_since")
+        page = self.document.pages.get(name)
+        if page is None:
+            self.counters["404"] += 1
+            self.comm.reply(src, message.reply(NOT_FOUND, {"page": name}))
+            return
+        if ims is not None and page.last_modified <= ims:
+            self.counters["304"] += 1
+            self.comm.reply(
+                src,
+                message.reply(
+                    NOT_MODIFIED,
+                    {"page": name, "last_modified": page.last_modified},
+                ),
+            )
+            return
+        self.counters["200"] += 1
+        self.comm.reply(src, message.reply(OK, {"page_data": page.to_dict()}))
+
+    def _on_put(self, src: str, message: Message) -> None:
+        self.counters["put"] += 1
+        name = message.body["page"]
+        content = message.body.get("content", "")
+        if message.body.get("append"):
+            self.document.append_to_page(name, content)
+        else:
+            self.document.write_page(name, content)
+        page = self.document.pages[name]
+        self.comm.reply(
+            src,
+            message.reply(
+                CREATED,
+                {"page": name, "version": page.version,
+                 "last_modified": page.last_modified},
+            ),
+        )
+
+    def current_version(self, name: str) -> int:
+        """Authoritative version of a page (0 when absent); staleness probe."""
+        page = self.document.pages.get(name)
+        return page.version if page is not None else 0

@@ -1,0 +1,39 @@
+"""Coherence models, protocols, session guarantees and checkers (S6-S8).
+
+This package implements Section 3.2 of the paper:
+
+- **object-based models** (:class:`CoherenceModel`): sequential, causal,
+  PRAM, FIFO (the overwrite optimization of PRAM) and eventual, each with a
+  corresponding :class:`~repro.coherence.ordering.OrderingDiscipline` that
+  decides when a replica may apply a write;
+- **client-based models** (:class:`SessionGuarantee`): read-your-writes,
+  monotonic reads, client-PRAM (monotonic writes) and client-causal
+  (writes-follow-reads), enforced -- not merely checked -- by stores on
+  behalf of sessions (:class:`SessionState`);
+- **checkers** (:mod:`repro.coherence.checkers`): machine verification that
+  a recorded execution trace satisfies each declared model.
+"""
+
+from repro.coherence.models import (
+    CoherenceModel,
+    SessionGuarantee,
+    guarantees_subsumed_by,
+    model_strength,
+    residual_guarantees,
+)
+from repro.coherence.records import WriteRecord
+from repro.coherence.session import SessionState
+from repro.coherence.trace import TraceRecorder
+from repro.coherence.vector_clock import VectorClock
+
+__all__ = [
+    "CoherenceModel",
+    "SessionGuarantee",
+    "SessionState",
+    "TraceRecorder",
+    "VectorClock",
+    "WriteRecord",
+    "guarantees_subsumed_by",
+    "model_strength",
+    "residual_guarantees",
+]

@@ -1,0 +1,98 @@
+"""The coherence-model taxonomy of Section 3.2.
+
+Object-based models order writes as seen by *all* clients; client-based
+models (session guarantees, after Bayou) constrain only what a single
+client observes.  The framework's contribution is that the two compose: a
+Web object declares one object-based model, and each client session may
+stack additional guarantees on top (Section 3.2.2's example: PRAM at the
+object plus Read-Your-Writes for the web master).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterable, Set
+
+
+class CoherenceModel(enum.Enum):
+    """Object-based coherence models offered by a Web object."""
+
+    #: Global total order of operations (Lamport 1979).  Hard to implement
+    #: efficiently; the paper suggests restricting it to permanent stores.
+    SEQUENTIAL = "sequential"
+
+    #: Causally related operations ordered everywhere (Hutto & Ahamad).
+    CAUSAL = "causal"
+
+    #: Writes of each client applied everywhere in issue order (Lipton &
+    #: Sandberg); the model of the paper's prototype.
+    PRAM = "pram"
+
+    #: The paper's overwrite optimization of PRAM: a write is honored only
+    #: if more recent than the latest applied write of the same client;
+    #: superseded writes are simply dropped.
+    FIFO = "fifo"
+
+    #: Updates eventually propagate with no ordering constraints.
+    EVENTUAL = "eventual"
+
+
+class SessionGuarantee(enum.Enum):
+    """Client-based coherence models (Bayou session guarantees)."""
+
+    #: Effects of a client's writes visible to its subsequent reads.
+    READ_YOUR_WRITES = "read-your-writes"
+
+    #: Successive reads never move backwards in time.
+    MONOTONIC_READS = "monotonic-reads"
+
+    #: Client-PRAM: a client's own writes apply everywhere in issue order.
+    MONOTONIC_WRITES = "monotonic-writes"
+
+    #: Client-causal: a write depends on the writes the client had read.
+    WRITES_FOLLOW_READS = "writes-follow-reads"
+
+
+#: Comparative strength used for "is model A at least as strong as B"
+#: questions.  FIFO is deliberately ranked below PRAM: it *drops* writes
+#: PRAM would apply, trading completeness for overwrite performance.
+_STRENGTH = {
+    CoherenceModel.SEQUENTIAL: 4,
+    CoherenceModel.CAUSAL: 3,
+    CoherenceModel.PRAM: 2,
+    CoherenceModel.FIFO: 1,
+    CoherenceModel.EVENTUAL: 0,
+}
+
+
+def model_strength(model: CoherenceModel) -> int:
+    """Numeric strength rank of an object-based model (higher = stronger)."""
+    return _STRENGTH[model]
+
+
+def guarantees_subsumed_by(model: CoherenceModel) -> FrozenSet[SessionGuarantee]:
+    """Session guarantees an object-based model provides automatically.
+
+    The paper notes that "if the object offers sequential consistency, then
+    it automatically offers every client-based model as well"; causal
+    consistency likewise implies all four Bayou guarantees, and PRAM implies
+    monotonic writes (its per-client restriction).
+    """
+    if model is CoherenceModel.SEQUENTIAL or model is CoherenceModel.CAUSAL:
+        return frozenset(SessionGuarantee)
+    if model is CoherenceModel.PRAM:
+        return frozenset({SessionGuarantee.MONOTONIC_WRITES})
+    return frozenset()
+
+
+def residual_guarantees(
+    model: CoherenceModel,
+    requested: Iterable[SessionGuarantee],
+) -> Set[SessionGuarantee]:
+    """The guarantees a store must actively enforce for a session.
+
+    Guarantees already subsumed by the object-based model cost nothing and
+    are removed; what remains drives the dependency checks on the read and
+    write paths.
+    """
+    return set(requested) - set(guarantees_subsumed_by(model))

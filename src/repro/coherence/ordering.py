@@ -1,0 +1,251 @@
+"""Ordering disciplines: when may a replica apply a write?
+
+Each object-based coherence model corresponds to one
+:class:`OrderingDiscipline`.  A store's replication object *offers* every
+incoming :class:`~repro.coherence.records.WriteRecord` to its discipline;
+the discipline returns the records that may be applied now (possibly
+including previously buffered ones that just became ready, in order) and
+holds back the rest.
+
+The disciplines also enforce per-record dependency vectors, which is how
+client-causal (writes-follow-reads) sessions are honored even under
+object-based models weaker than causal (design decision D2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.coherence.models import CoherenceModel
+from repro.coherence.records import WriteRecord
+from repro.coherence.vector_clock import VectorClock
+from repro.core.ids import WriteId
+
+
+class OrderingDiscipline:
+    """Base class: tracking of applied writes plus dependency gating."""
+
+    model = CoherenceModel.EVENTUAL
+
+    def __init__(self) -> None:
+        #: Version vector of all applied writes.
+        self.applied = VectorClock()
+        #: WiDs applied (dedupe against redelivery).
+        self.seen: Set[WriteId] = set()
+        #: Held-back records, keyed by WiD.
+        self.buffer: Dict[WriteId, WriteRecord] = {}
+        #: Writes discarded as superseded (FIFO / eventual LWW).
+        self.dropped = 0
+
+    # -- API ---------------------------------------------------------------
+
+    def offer(self, record: WriteRecord) -> List[WriteRecord]:
+        """Submit a record; return records now applicable, in apply order."""
+        if record.wid in self.buffer:
+            return []
+        if self._superseded(record):
+            self.dropped += 1
+            return []
+        if self._is_duplicate(record):
+            return []
+        self.buffer[record.wid] = record
+        return self._drain()
+
+    def _is_duplicate(self, record: WriteRecord) -> bool:
+        """Whether the record was already incorporated.
+
+        For gapless disciplines the applied vector only covers writes that
+        were actually applied, so VC inclusion is a safe dedupe; gap-skipping
+        disciplines override this.
+        """
+        return record.wid in self.seen or self.applied.includes(record.wid)
+
+    def has_gaps(self) -> bool:
+        """Whether buffered records are waiting on missing predecessors.
+
+        This is the store's signal that its replica is outdated and the
+        outdate-reaction parameter (wait vs demand) applies.
+        """
+        return bool(self.buffer)
+
+    def install(self, version: VectorClock) -> None:
+        """Reset after a full-state transfer that covers ``version``."""
+        self.applied = version.copy()
+        self.buffer = {
+            wid: rec
+            for wid, rec in self.buffer.items()
+            if not version.includes(wid)
+        }
+        self.seen = {wid for wid in self.seen if not version.includes(wid)}
+
+    # -- hooks ----------------------------------------------------------------
+
+    def _ready(self, record: WriteRecord) -> bool:
+        """Model-specific test: may ``record`` be applied right now?"""
+        return True
+
+    def _superseded(self, record: WriteRecord) -> bool:
+        """Model-specific test: is ``record`` stale and to be discarded?"""
+        return False
+
+    def _mark_applied(self, record: WriteRecord) -> None:
+        self.applied.record(record.wid)
+        self.seen.add(record.wid)
+
+    def _deps_satisfied(self, record: WriteRecord) -> bool:
+        return record.deps is None or self.applied.dominates(record.deps)
+
+    def _drain(self) -> List[WriteRecord]:
+        """Repeatedly release buffered records until a fixpoint."""
+        released: List[WriteRecord] = []
+        progress = True
+        while progress:
+            progress = False
+            for wid in sorted(self.buffer):
+                record = self.buffer[wid]
+                if self._superseded(record):
+                    del self.buffer[wid]
+                    self.dropped += 1
+                    progress = True
+                    continue
+                if self._deps_satisfied(record) and self._ready(record):
+                    del self.buffer[wid]
+                    self._mark_applied(record)
+                    released.append(record)
+                    progress = True
+        return released
+
+
+class PramOrdering(OrderingDiscipline):
+    """PRAM: each client's writes apply in per-client sequence order.
+
+    This is the paper's prototype protocol: the incoming WiD's sequence
+    number is compared against ``expected_write[client]``; in-order writes
+    apply, out-of-order writes are buffered "until the next one" (Section
+    4.2).
+    """
+
+    model = CoherenceModel.PRAM
+
+    def _ready(self, record: WriteRecord) -> bool:
+        return record.wid.seqno == self.applied.get(record.wid.client_id) + 1
+
+
+class FifoOrdering(OrderingDiscipline):
+    """The paper's FIFO optimization of PRAM.
+
+    A write is honored only if more recent than the latest applied write
+    from the same client; superseded or late writes are ignored.  Suited to
+    clients that overwrite a document rather than updating incrementally.
+    """
+
+    model = CoherenceModel.FIFO
+
+    def _ready(self, record: WriteRecord) -> bool:
+        # Any write newer than the client's last applied one is acceptable;
+        # gaps are skipped rather than awaited.
+        return record.wid.seqno > self.applied.get(record.wid.client_id)
+
+    def _superseded(self, record: WriteRecord) -> bool:
+        return record.wid.seqno <= self.applied.get(record.wid.client_id)
+
+
+class CausalOrdering(OrderingDiscipline):
+    """Causal: a write applies once everything it depends on has applied.
+
+    Every record carries a dependency vector stamped at its origin; the
+    base-class dependency gate does the entire job.
+    """
+
+    model = CoherenceModel.CAUSAL
+
+    def _ready(self, record: WriteRecord) -> bool:
+        # Besides cross-client dependencies, a client's own writes are
+        # causally ordered, so enforce per-client sequence too.
+        return record.wid.seqno == self.applied.get(record.wid.client_id) + 1
+
+
+class SequentialOrdering(OrderingDiscipline):
+    """Sequential: one global total order, assigned by a sequencer.
+
+    Replicas apply records strictly in ``global_seq`` order, which makes
+    every store's apply sequence a prefix of the same global history.
+    """
+
+    model = CoherenceModel.SEQUENTIAL
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.next_global = 1
+
+    def _ready(self, record: WriteRecord) -> bool:
+        return record.global_seq == self.next_global
+
+    def _mark_applied(self, record: WriteRecord) -> None:
+        super()._mark_applied(record)
+        self.next_global += 1
+
+    def install(self, version: VectorClock, next_global: Optional[int] = None) -> None:
+        super().install(version)
+        if next_global is not None:
+            self.next_global = next_global
+
+
+class EventualOrdering(OrderingDiscipline):
+    """Eventual: apply whatever arrives; optional per-key last-writer-wins.
+
+    With ``lww=True`` (the default) a record is discarded when every state
+    key it touches already carries a newer applied write, which makes
+    replicas converge for overwrite workloads.  With ``lww=False`` records
+    are applied in arrival order, the literal "no ordering constraints" of
+    the paper.
+    """
+
+    model = CoherenceModel.EVENTUAL
+
+    def __init__(self, lww: bool = True) -> None:
+        super().__init__()
+        self.lww = lww
+        self._key_latest: Dict[str, Tuple[float, WriteId]] = {}
+        #: Writes incorporated via snapshot installs; the applied vector
+        #: cannot be used for dedupe here because gap-skipping makes it
+        #: cover writes that were never seen.
+        self._floor = VectorClock()
+
+    def install(self, version: VectorClock) -> None:
+        super().install(version)
+        self._floor.merge(version)
+
+    def _is_duplicate(self, record: WriteRecord) -> bool:
+        return record.wid in self.seen or self._floor.includes(record.wid)
+
+    def _superseded(self, record: WriteRecord) -> bool:
+        if not self.lww or not record.touched:
+            return False
+        stamp = (record.timestamp, record.wid)
+        return all(
+            key in self._key_latest and self._key_latest[key] > stamp
+            for key in record.touched
+        )
+
+    def _mark_applied(self, record: WriteRecord) -> None:
+        super()._mark_applied(record)
+        stamp = (record.timestamp, record.wid)
+        for key in record.touched:
+            if key not in self._key_latest or self._key_latest[key] < stamp:
+                self._key_latest[key] = stamp
+
+
+def make_ordering(model: CoherenceModel) -> OrderingDiscipline:
+    """Factory: the ordering discipline for an object-based model."""
+    if model is CoherenceModel.PRAM:
+        return PramOrdering()
+    if model is CoherenceModel.FIFO:
+        return FifoOrdering()
+    if model is CoherenceModel.CAUSAL:
+        return CausalOrdering()
+    if model is CoherenceModel.SEQUENTIAL:
+        return SequentialOrdering()
+    if model is CoherenceModel.EVENTUAL:
+        return EventualOrdering()
+    raise ValueError(f"unknown coherence model {model!r}")

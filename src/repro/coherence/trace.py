@@ -1,0 +1,229 @@
+"""Execution-trace recording.
+
+Every experiment and most tests attach one :class:`TraceRecorder` to the
+system under test.  Stores report write applications, installs and drops;
+clients report issued writes, acknowledgements and reads.  The checkers in
+:mod:`repro.coherence.checkers` then verify the declared coherence models
+against the recorded history -- the machine-checked replacement for the
+paper's manual observation of its prototype.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Dict, List, Optional
+
+from repro.core.ids import WriteId
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """Base event: global order index plus virtual timestamp."""
+
+    index: int
+    time: float
+
+
+@dataclasses.dataclass(frozen=True)
+class ApplyEvent(TraceEvent):
+    """A store applied a write to its replica."""
+
+    store: str
+    wid: WriteId
+    global_seq: Optional[int]
+    deps: Optional[Dict[str, int]]
+    applied_vc: Dict[str, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class InstallEvent(TraceEvent):
+    """A store replaced its replica via full-state transfer."""
+
+    store: str
+    version: Dict[str, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class DropEvent(TraceEvent):
+    """A store discarded a superseded write (FIFO / eventual LWW)."""
+
+    store: str
+    wid: WriteId
+
+
+@dataclasses.dataclass(frozen=True)
+class WriteIssueEvent(TraceEvent):
+    """A client issued a write."""
+
+    client_id: str
+    wid: WriteId
+    store: str
+    deps: Optional[Dict[str, int]]
+
+
+@dataclasses.dataclass(frozen=True)
+class WriteAckEvent(TraceEvent):
+    """A client's write was acknowledged by a store."""
+
+    client_id: str
+    wid: WriteId
+    store: str
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadEvent(TraceEvent):
+    """A store served a read to a client."""
+
+    store: str
+    client_id: str
+    served_vc: Dict[str, int]
+    requirement: Dict[str, int]
+    result_meta: Optional[Dict[str, Any]] = None
+
+
+class TraceRecorder:
+    """Append-only recorder shared by all components of one system."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._counter = itertools.count()
+
+    # -- recording -----------------------------------------------------------
+
+    def _next_index(self) -> int:
+        return next(self._counter)
+
+    def record_apply(
+        self,
+        time: float,
+        store: str,
+        wid: WriteId,
+        applied_vc: Dict[str, int],
+        global_seq: Optional[int] = None,
+        deps: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """A store applied ``wid``; ``applied_vc`` is the VC *after* apply."""
+        self.events.append(
+            ApplyEvent(
+                index=self._next_index(),
+                time=time,
+                store=store,
+                wid=wid,
+                global_seq=global_seq,
+                deps=deps,
+                applied_vc=dict(applied_vc),
+            )
+        )
+
+    def record_install(
+        self, time: float, store: str, version: Dict[str, int]
+    ) -> None:
+        """A store installed a full snapshot covering ``version``."""
+        self.events.append(
+            InstallEvent(
+                index=self._next_index(), time=time, store=store,
+                version=dict(version),
+            )
+        )
+
+    def record_drop(self, time: float, store: str, wid: WriteId) -> None:
+        """A store discarded a superseded write."""
+        self.events.append(
+            DropEvent(index=self._next_index(), time=time, store=store, wid=wid)
+        )
+
+    def record_write_issue(
+        self,
+        time: float,
+        client_id: str,
+        wid: WriteId,
+        store: str,
+        deps: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """A client submitted a write to a store."""
+        self.events.append(
+            WriteIssueEvent(
+                index=self._next_index(), time=time, client_id=client_id,
+                wid=wid, store=store, deps=deps,
+            )
+        )
+
+    def record_write_ack(
+        self, time: float, client_id: str, wid: WriteId, store: str
+    ) -> None:
+        """A store acknowledged a client's write."""
+        self.events.append(
+            WriteAckEvent(
+                index=self._next_index(), time=time, client_id=client_id,
+                wid=wid, store=store,
+            )
+        )
+
+    def record_read(
+        self,
+        time: float,
+        store: str,
+        client_id: str,
+        served_vc: Dict[str, int],
+        requirement: Optional[Dict[str, int]] = None,
+        result_meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """A store served a read; ``served_vc`` is its VC at serve time."""
+        self.events.append(
+            ReadEvent(
+                index=self._next_index(), time=time, store=store,
+                client_id=client_id, served_vc=dict(served_vc),
+                requirement=dict(requirement or {}), result_meta=result_meta,
+            )
+        )
+
+    # -- accessors -----------------------------------------------------------
+
+    def of_type(self, event_type: type) -> List[TraceEvent]:
+        """All events of one type, in global order."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def apply_sequence(self, store: str) -> List[ApplyEvent]:
+        """Apply events of one store, in application order."""
+        return [
+            e for e in self.events
+            if isinstance(e, ApplyEvent) and e.store == store
+        ]
+
+    def stores(self) -> List[str]:
+        """All stores that applied or installed anything, in first-seen order."""
+        seen: List[str] = []
+        for event in self.events:
+            store = getattr(event, "store", None)
+            if store is not None and not isinstance(event, (ReadEvent,)):
+                if store not in seen:
+                    seen.append(store)
+        return seen
+
+    def clients(self) -> List[str]:
+        """All clients that issued writes or reads, in first-seen order."""
+        seen: List[str] = []
+        for event in self.events:
+            client = getattr(event, "client_id", None)
+            if client is not None and client not in seen:
+                seen.append(client)
+        return seen
+
+    def writes_by(self, client_id: str) -> List[WriteIssueEvent]:
+        """Writes issued by one client, in issue order."""
+        return [
+            e for e in self.events
+            if isinstance(e, WriteIssueEvent) and e.client_id == client_id
+        ]
+
+    def reads_by(self, client_id: str) -> List[ReadEvent]:
+        """Reads served to one client, in serve order."""
+        return [
+            e for e in self.events
+            if isinstance(e, ReadEvent) and e.client_id == client_id
+        ]
+
+    def clear(self) -> None:
+        """Forget all recorded events (counters keep advancing)."""
+        self.events.clear()

@@ -1,0 +1,31 @@
+"""Communication sub-objects and messaging (S3).
+
+In the Globe local-object composition, the *communication object* is the
+system-provided component that moves marshalled invocation messages between
+address spaces.  It offers the three primitives named in the paper --
+``send``, ``receive`` (a registered handler) and ``send/receive``
+(request-reply) -- plus a multicast facility used by permanent stores.
+
+Transports: a communication object speaks either the **reliable** transport
+(TCP-like: no loss, FIFO per pair) or the **unreliable** one (UDP-like:
+loss, reordering).  The paper used TCP for simplicity; experiment X5 swaps
+in UDP and recovers reliability from the coherence protocol itself.
+"""
+
+from repro.comm.endpoint import CommunicationObject, RequestTimeout
+from repro.comm.invocation import (
+    MarshalledInvocation,
+    decode_invocation,
+    encode_invocation,
+)
+from repro.comm.message import Message, estimate_size
+
+__all__ = [
+    "CommunicationObject",
+    "MarshalledInvocation",
+    "Message",
+    "RequestTimeout",
+    "decode_invocation",
+    "encode_invocation",
+    "estimate_size",
+]

@@ -1,0 +1,77 @@
+"""Marshalled method invocations.
+
+A defining property of the Globe composition is that replication and
+communication objects never see semantics-object state or methods: they
+operate only on *invocation messages* in which the method identifier and
+parameters have been encoded.  This module is that encoding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Tuple
+
+from repro.comm.message import estimate_size
+
+
+class InvocationCodecError(ValueError):
+    """Raised when an invocation message cannot be decoded."""
+
+
+@dataclasses.dataclass(frozen=True)
+class MarshalledInvocation:
+    """A method call reduced to data: name, positional and keyword args.
+
+    ``read_only`` tags whether the invocation modifies semantics state;
+    the control object uses it to route reads locally and writes through
+    the replication object.
+    """
+
+    method: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    read_only: bool = True
+
+    def kwargs_dict(self) -> Dict[str, Any]:
+        """The keyword arguments as a plain dict."""
+        return dict(self.kwargs)
+
+    def payload_size(self) -> int:
+        """Estimated encoded size in bytes."""
+        return (
+            estimate_size(self.method)
+            + estimate_size(list(self.args))
+            + estimate_size(dict(self.kwargs))
+            + 4
+        )
+
+
+def encode_invocation(
+    method: str,
+    *args: Any,
+    read_only: bool = True,
+    **kwargs: Any,
+) -> Dict[str, Any]:
+    """Encode a method call into a wire-friendly dict."""
+    return {
+        "method": method,
+        "args": list(args),
+        "kwargs": dict(kwargs),
+        "read_only": read_only,
+    }
+
+
+def decode_invocation(encoded: Dict[str, Any]) -> MarshalledInvocation:
+    """Decode a dict produced by :func:`encode_invocation`."""
+    try:
+        method = encoded["method"]
+        args = tuple(encoded.get("args", ()))
+        kwargs = tuple(sorted(dict(encoded.get("kwargs", {})).items()))
+        read_only = bool(encoded.get("read_only", True))
+    except (TypeError, KeyError) as exc:
+        raise InvocationCodecError(f"malformed invocation {encoded!r}") from exc
+    if not isinstance(method, str) or not method:
+        raise InvocationCodecError(f"invalid method name {method!r}")
+    return MarshalledInvocation(
+        method=method, args=args, kwargs=kwargs, read_only=read_only
+    )

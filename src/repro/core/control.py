@@ -1,0 +1,137 @@
+"""The control sub-object.
+
+The control object is the hub of a local object: incoming client method
+calls and incoming protocol messages both land here and are routed to the
+replication object, which in turn reaches the semantics object back through
+the control object's :class:`~repro.core.interfaces.ControlInterface`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.comm.endpoint import CommunicationObject
+from repro.comm.invocation import MarshalledInvocation
+from repro.comm.message import Message
+from repro.core.interfaces import (
+    ControlInterface,
+    ReplicationObject,
+    Role,
+    SemanticsObject,
+)
+from repro.sim.future import Future
+from repro.sim.kernel import Simulator
+
+
+class ControlObject(ControlInterface):
+    """Concrete control object wiring the four sub-objects together."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        comm: CommunicationObject,
+        replication: ReplicationObject,
+        semantics: Optional[SemanticsObject],
+        role: Role,
+    ) -> None:
+        self.sim = sim
+        self.comm = comm
+        self.replication = replication
+        self.semantics = semantics
+        self._role = role
+        self.invocations_served = 0
+        comm.set_handler(self._on_message)
+        replication.attach(self)
+
+    # -- ControlInterface ---------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return self.comm.address
+
+    @property
+    def role(self) -> Role:
+        return self._role
+
+    def apply_local(self, invocation: MarshalledInvocation) -> Any:
+        if self.semantics is None:
+            raise RuntimeError(
+                f"{self.address}: no semantics object in a {self._role.value} "
+                "local object"
+            )
+        return self.semantics.apply(invocation)
+
+    def touched_keys(self, invocation: MarshalledInvocation) -> Sequence[str]:
+        if self.semantics is None:
+            return ()
+        return self.semantics.touched_keys(invocation)
+
+    def missing_keys(self, keys) -> Sequence[str]:
+        if self.semantics is None:
+            return tuple(keys)
+        return self.semantics.missing_keys(keys)
+
+    def can_apply(self, invocation: MarshalledInvocation) -> bool:
+        if self.semantics is None:
+            return False
+        return self.semantics.can_apply(invocation)
+
+    def semantics_snapshot(
+        self, keys: Optional[Sequence[str]] = None
+    ) -> Dict[str, Any]:
+        if self.semantics is None:
+            raise RuntimeError(f"{self.address}: no semantics object")
+        if keys is None:
+            return self.semantics.snapshot()
+        return self.semantics.partial_snapshot(keys)
+
+    def semantics_restore(self, state: Dict[str, Any], partial: bool) -> None:
+        if self.semantics is None:
+            raise RuntimeError(f"{self.address}: no semantics object")
+        if partial:
+            self.semantics.restore_partial(state)
+        else:
+            self.semantics.restore(state)
+
+    def send(self, dst: str, message: Message) -> None:
+        self.comm.send(dst, message)
+
+    def multicast(self, dsts: Sequence[str], message: Message) -> None:
+        self.comm.multicast(dsts, message)
+
+    def request(
+        self,
+        dst: str,
+        message: Message,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+    ) -> Future:
+        return self.comm.request(dst, message, timeout=timeout, retries=retries)
+
+    def reply(self, dst: str, response: Message) -> None:
+        self.comm.reply(dst, response)
+
+    def schedule(self, delay: float, fn, *args, daemon: bool = False) -> Any:
+        return self.sim.schedule(delay, fn, *args, daemon=daemon)
+
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- inbound paths --------------------------------------------------------
+
+    def invoke(
+        self,
+        invocation: MarshalledInvocation,
+        session: Optional[Dict[str, Any]] = None,
+    ) -> Future:
+        """Entry point for method calls issued in this address space."""
+        self.invocations_served += 1
+        return self.replication.handle_invocation(invocation, session)
+
+    def _on_message(self, src: str, message: Message) -> None:
+        self.replication.handle_message(src, message)
+
+    def close(self) -> None:
+        """Tear down the composition."""
+        self.replication.stop()
+        self.comm.close()

@@ -1,0 +1,254 @@
+"""Distributed shared objects: assembly and binding.
+
+A :class:`DistributedSharedObject` is the unit the paper proposes: one Web
+document, physically distributed, encapsulating its own replication policy.
+This module assembles the per-address-space local objects (stores and
+clients), wires the Fig. 2 hierarchy, registers contact points with the
+name service, and implements :meth:`DistributedSharedObject.bind`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional
+
+from repro.coherence.models import SessionGuarantee
+from repro.coherence.trace import TraceRecorder
+from repro.core.ids import ObjectId, fresh_object_id
+from repro.core.interfaces import Role, SemanticsObject
+from repro.core.local_object import LocalObject
+from repro.core.stub import Stub
+from repro.naming.service import NameService
+from repro.net.network import Network
+from repro.replication.client import ClientReplicationObject
+from repro.replication.engine import StoreReplicationObject
+from repro.replication.policy import ReplicationPolicy
+from repro.sim.kernel import Simulator
+
+
+class BindError(RuntimeError):
+    """Raised when a client cannot be bound to the object."""
+
+
+@dataclasses.dataclass
+class Store:
+    """A store-side local object plus its replication engine."""
+
+    local: LocalObject
+    engine: StoreReplicationObject
+
+    @property
+    def address(self) -> str:
+        """Network address of the store's address space."""
+        return self.local.address
+
+    @property
+    def role(self) -> Role:
+        """Store layer (permanent / object-initiated / client-initiated)."""
+        return self.local.role
+
+    def version(self) -> Dict[str, int]:
+        """Applied version vector."""
+        return self.engine.version()
+
+    def state(self) -> Dict[str, object]:
+        """Semantics snapshot (convergence checks)."""
+        return self.engine.snapshot_state()
+
+    def sync_full(self) -> None:
+        """Demand a full-state transfer from the parent (initial mirror sync)."""
+        self.engine._demand(want_full=True)
+
+
+@dataclasses.dataclass
+class BoundClient:
+    """A client-side local object plus its stub."""
+
+    local: LocalObject
+    stub: Stub
+    replication: ClientReplicationObject
+
+    @property
+    def address(self) -> str:
+        """Network address of the client's address space."""
+        return self.local.address
+
+    @property
+    def session(self):
+        """The client's session state (client-based coherence context)."""
+        return self.replication.session
+
+
+class DistributedSharedObject:
+    """One replicated Web object: policy + semantics + all its replicas.
+
+    Parameters
+    ----------
+    sim, network:
+        Substrate the object lives on.
+    semantics:
+        Prototype semantics object; the first permanent store adopts it,
+        replicas get :meth:`SemanticsObject.fresh` copies.
+    policy:
+        Per-object replication strategy (the framework's whole point).
+    designated_writer:
+        Under a single write set, the only client allowed to write.
+    reliable_transport:
+        ``False`` switches every local object to the UDP-like transport.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        semantics: SemanticsObject,
+        policy: Optional[ReplicationPolicy] = None,
+        object_id: Optional[ObjectId] = None,
+        trace: Optional[TraceRecorder] = None,
+        name_service: Optional[NameService] = None,
+        designated_writer: Optional[str] = None,
+        reliable_transport: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.semantics_prototype = semantics
+        self.policy = (policy or ReplicationPolicy()).validate()
+        self.object_id = object_id or fresh_object_id()
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.names = name_service if name_service is not None else NameService()
+        self.designated_writer = designated_writer
+        self.reliable_transport = reliable_transport
+        self.stores: Dict[str, Store] = {}
+        self.clients: List[BoundClient] = []
+        self.primary: Optional[Store] = None
+
+    # -- store construction ---------------------------------------------------
+
+    def create_permanent_store(self, address: str) -> Store:
+        """Create a permanent store; the first one becomes the primary."""
+        parent = self.primary.address if self.primary is not None else None
+        store = self._make_store(address, Role.PERMANENT, parent)
+        if self.primary is None:
+            self.primary = store
+        else:
+            store.sync_full()
+        self.names.register(self.object_id, address)
+        return store
+
+    def create_mirror(self, address: str, parent: Optional[str] = None) -> Store:
+        """Create an object-initiated store (mirror) under ``parent``."""
+        parent = parent or self._require_primary().address
+        store = self._make_store(address, Role.OBJECT_INITIATED, parent)
+        store.sync_full()
+        self.names.register(self.object_id, address)
+        return store
+
+    def create_cache(self, address: str, parent: Optional[str] = None) -> Store:
+        """Create a client-initiated store (cache) under ``parent``.
+
+        Caches start empty and fill on demand, as the paper's example does.
+        """
+        parent = parent or self._require_primary().address
+        return self._make_store(address, Role.CLIENT_INITIATED, parent)
+
+    def _make_store(self, address: str, role: Role, parent: Optional[str]) -> Store:
+        if address in self.stores:
+            raise BindError(f"address {address} already hosts a store")
+        if role is Role.PERMANENT and self.primary is None:
+            semantics = self.semantics_prototype
+        else:
+            semantics = self.semantics_prototype.fresh()
+        engine = StoreReplicationObject(
+            policy=self.policy,
+            role=role,
+            parent=parent,
+            trace=self.trace,
+            allowed_writer=self.designated_writer,
+        )
+        local = LocalObject(
+            sim=self.sim,
+            network=self.network,
+            address=address,
+            role=role,
+            replication=engine,
+            semantics=semantics,
+            reliable_transport=self.reliable_transport,
+        )
+        local.start()
+        store = Store(local=local, engine=engine)
+        self.stores[address] = store
+        if parent is not None and parent in self.stores:
+            self.stores[parent].engine.subscribe_child(address)
+        return store
+
+    def _require_primary(self) -> Store:
+        if self.primary is None:
+            raise BindError(
+                f"object {self.object_id} has no permanent store yet"
+            )
+        return self.primary
+
+    # -- binding ---------------------------------------------------------------
+
+    def bind(
+        self,
+        address: str,
+        client_id: str,
+        read_store: Optional[str] = None,
+        write_store: Optional[str] = None,
+        guarantees: Iterable[SessionGuarantee] = (),
+        request_timeout: Optional[float] = None,
+        request_retries: int = 0,
+    ) -> BoundClient:
+        """Bind a client address space to the object; returns the stub.
+
+        Defaults resolve the read store through the name service (first
+        contact) and send writes to the primary permanent store, matching
+        the paper's example where the master writes directly to the web
+        server.
+        """
+        self._require_primary()
+        if read_store is None:
+            read_store = self.names.resolve(self.object_id)[0]
+        if write_store is None:
+            write_store = self._require_primary().address
+        for target in (read_store, write_store):
+            if target not in self.stores:
+                raise BindError(f"{target} is not a store of {self.object_id}")
+        replication = ClientReplicationObject(
+            client_id=client_id,
+            read_store=read_store,
+            write_store=write_store,
+            policy=self.policy,
+            guarantees=guarantees,
+            trace=self.trace,
+            request_timeout=request_timeout,
+            request_retries=request_retries,
+        )
+        local = LocalObject(
+            sim=self.sim,
+            network=self.network,
+            address=address,
+            role=Role.CLIENT,
+            replication=replication,
+            semantics=None,
+            reliable_transport=self.reliable_transport,
+        )
+        local.start()
+        stub = Stub(local.control, client_id)
+        bound = BoundClient(local=local, stub=stub, replication=replication)
+        self.clients.append(bound)
+        return bound
+
+    # -- introspection ------------------------------------------------------------
+
+    def store_states(self) -> Dict[str, Dict[str, object]]:
+        """Snapshot of every store's semantics state (convergence checks)."""
+        return {addr: store.state() for addr, store in self.stores.items()}
+
+    def layers(self) -> Dict[Role, List[str]]:
+        """Store addresses grouped by Fig. 2 layer."""
+        grouped: Dict[Role, List[str]] = {}
+        for address, store in self.stores.items():
+            grouped.setdefault(store.role, []).append(address)
+        return grouped

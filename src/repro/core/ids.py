@@ -1,0 +1,57 @@
+"""Identifiers used across the framework.
+
+The paper's PRAM implementation tags every write with a *write identifier*
+(WiD) composed of the writing client's identifier and a per-client sequence
+number (Section 4.2).  :class:`WriteId` is exactly that, with the per-client
+total order the protocol relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+#: Network address of an address space (node name on the simulated network).
+Address = str
+
+#: Globally unique identifier of a distributed shared object.
+ObjectId = str
+
+_object_counter = itertools.count(1)
+
+
+def fresh_object_id(prefix: str = "dso") -> ObjectId:
+    """Mint a process-unique object identifier."""
+    return f"{prefix}-{next(_object_counter)}"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class WriteId:
+    """A write identifier ``WiD = (client_id, sequence_number)``.
+
+    WiDs from the same client are totally ordered by sequence number; WiDs
+    from different clients are not comparable under PRAM (the dataclass
+    order exists only so WiDs can live in sorted containers).
+    """
+
+    client_id: str
+    seqno: int
+
+    def next(self) -> "WriteId":
+        """The client's next write identifier."""
+        return WriteId(self.client_id, self.seqno + 1)
+
+    def follows(self, other: "WriteId") -> bool:
+        """Whether this WiD is a later write by the same client."""
+        return self.client_id == other.client_id and self.seqno > other.seqno
+
+    def __str__(self) -> str:
+        return f"{self.client_id}:{self.seqno}"
+
+    @classmethod
+    def parse(cls, text: str) -> "WriteId":
+        """Inverse of :meth:`__str__`."""
+        client_id, _, seqno = text.rpartition(":")
+        if not client_id:
+            raise ValueError(f"malformed WriteId {text!r}")
+        return cls(client_id, int(seqno))

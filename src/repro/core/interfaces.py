@@ -1,0 +1,208 @@
+"""Standardized interfaces of the local-object composition.
+
+The paper's key structural claim is that replication and communication
+objects have *standardized* interfaces and are unaware of the semantics
+object's methods and state -- they see only marshalled invocations.  These
+abstract classes are those interfaces; every concrete coherence protocol in
+:mod:`repro.replication` implements :class:`ReplicationObject` against
+:class:`ControlInterface` without ever importing a semantics class.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.comm.invocation import MarshalledInvocation
+from repro.comm.message import Message
+from repro.sim.future import Future
+
+
+class Role(enum.Enum):
+    """The role an address space plays for one distributed object.
+
+    The three store roles are the three store classes of Section 3.1
+    (Fig. 2); ``CLIENT`` is a pure client address space holding no replica.
+    """
+
+    CLIENT = "client"
+    PERMANENT = "permanent"
+    OBJECT_INITIATED = "object-initiated"
+    CLIENT_INITIATED = "client-initiated"
+
+    @property
+    def is_store(self) -> bool:
+        """Whether this role keeps a replica of the object state."""
+        return self is not Role.CLIENT
+
+
+#: Store roles ordered from the root of the Fig. 2 hierarchy downward.
+STORE_LAYERS: Tuple[Role, ...] = (
+    Role.PERMANENT,
+    Role.OBJECT_INITIATED,
+    Role.CLIENT_INITIATED,
+)
+
+
+class SemanticsObject:
+    """State + methods of the distributed object (developer-provided).
+
+    The replication machinery interacts with semantics objects only through
+    this interface: applying marshalled invocations and transferring state
+    snapshots (full or partial, per the access/coherence transfer-type
+    parameters of Table 1).
+    """
+
+    def apply(self, invocation: MarshalledInvocation) -> Any:
+        """Execute a marshalled invocation against local state."""
+        raise NotImplementedError
+
+    def touched_keys(self, invocation: MarshalledInvocation) -> Sequence[str]:
+        """State keys an invocation reads or writes (for partial transfer)."""
+        raise NotImplementedError
+
+    def missing_keys(self, keys: Sequence[str]) -> Sequence[str]:
+        """Subset of ``keys`` not present in local state (cache misses)."""
+        raise NotImplementedError
+
+    def can_apply(self, invocation: MarshalledInvocation) -> bool:
+        """Whether the invocation is applicable to *this replica's* state.
+
+        Self-contained writes (replacing a page) always apply; delta writes
+        (appending to a page) need the base content present.  A partial
+        replica receiving a delta for a page it never cached must skip the
+        write and mark the page uncached instead of fabricating content.
+        """
+        return True
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Full-state snapshot (coherence/access transfer type ``full``)."""
+        raise NotImplementedError
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Replace local state with a full snapshot."""
+        raise NotImplementedError
+
+    def partial_snapshot(self, keys: Sequence[str]) -> Dict[str, Any]:
+        """Snapshot restricted to ``keys`` (transfer type ``partial``)."""
+        raise NotImplementedError
+
+    def restore_partial(self, state: Dict[str, Any]) -> None:
+        """Merge a partial snapshot into local state."""
+        raise NotImplementedError
+
+    def fresh(self) -> "SemanticsObject":
+        """A new, empty instance of the same semantics class.
+
+        Used when a replica is installed in a new store address space.
+        """
+        raise NotImplementedError
+
+
+class ControlInterface:
+    """What a replication object may ask of its control object."""
+
+    @property
+    def address(self) -> str:
+        """Network address of this local object's address space."""
+        raise NotImplementedError
+
+    @property
+    def role(self) -> Role:
+        """This local object's store role."""
+        raise NotImplementedError
+
+    def apply_local(self, invocation: MarshalledInvocation) -> Any:
+        """Apply an invocation to the co-located semantics object."""
+        raise NotImplementedError
+
+    def touched_keys(self, invocation: MarshalledInvocation) -> Sequence[str]:
+        """Delegate of :meth:`SemanticsObject.touched_keys`."""
+        raise NotImplementedError
+
+    def missing_keys(self, keys) -> Sequence[str]:
+        """Delegate of :meth:`SemanticsObject.missing_keys`."""
+        raise NotImplementedError
+
+    def can_apply(self, invocation: MarshalledInvocation) -> bool:
+        """Delegate of :meth:`SemanticsObject.can_apply`."""
+        raise NotImplementedError
+
+    def semantics_snapshot(self, keys: Optional[Sequence[str]] = None) -> Dict[str, Any]:
+        """Full (``keys is None``) or partial snapshot of local semantics."""
+        raise NotImplementedError
+
+    def semantics_restore(self, state: Dict[str, Any], partial: bool) -> None:
+        """Install a received snapshot into local semantics."""
+        raise NotImplementedError
+
+    def send(self, dst: str, message: Message) -> None:
+        """Point-to-point send through the communication object."""
+        raise NotImplementedError
+
+    def multicast(self, dsts: Sequence[str], message: Message) -> None:
+        """Multicast through the communication object."""
+        raise NotImplementedError
+
+    def request(
+        self,
+        dst: str,
+        message: Message,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+    ) -> Future:
+        """Send/receive through the communication object."""
+        raise NotImplementedError
+
+    def reply(self, dst: str, response: Message) -> None:
+        """Answer a request through the communication object."""
+        raise NotImplementedError
+
+    def schedule(self, delay: float, fn, *args, daemon: bool = False) -> Any:
+        """Schedule a timer on the simulation kernel.
+
+        ``daemon`` timers (periodic pulls) do not keep drain runs alive.
+        """
+        raise NotImplementedError
+
+    def now(self) -> float:
+        """Current virtual time."""
+        raise NotImplementedError
+
+
+class ReplicationObject:
+    """The pluggable coherence/replication protocol of a local object.
+
+    Exactly one replication object exists per local object.  The control
+    object calls :meth:`handle_invocation` for client method calls arriving
+    in this address space and :meth:`handle_message` for protocol traffic
+    from peers; the replication object drives everything else through its
+    :class:`ControlInterface`.
+    """
+
+    def attach(self, control: ControlInterface) -> None:
+        """Wire the control object; called once during composition."""
+        self.control = control
+
+    def start(self) -> None:
+        """Begin timers/subscriptions; called after the composition is wired."""
+
+    def stop(self) -> None:
+        """Cancel timers; called when the local object is destroyed."""
+
+    def handle_invocation(
+        self,
+        invocation: MarshalledInvocation,
+        session: Optional[Dict[str, Any]] = None,
+    ) -> Future:
+        """Serve a client method call issued in this address space.
+
+        ``session`` carries the client-based coherence context (Section
+        3.2.2): the client's own write position and read dependencies.
+        Resolves with the invocation result.
+        """
+        raise NotImplementedError
+
+    def handle_message(self, src: str, message: Message) -> None:
+        """Process protocol traffic from a peer replication object."""
+        raise NotImplementedError

@@ -1,0 +1,11 @@
+"""Experiment harness (S15): one module per paper table/figure + sweeps.
+
+Every module exposes ``run(...) -> ExperimentResult`` (or several) and is
+driven both by the benchmark suite (``benchmarks/``) and by integration
+tests.  See DESIGN.md section 4 for the experiment index and
+EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+"""
+
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,63 @@
+"""Regenerate every paper table, figure and experiment in one command.
+
+Usage::
+
+    python -m repro.experiments            # everything
+    python -m repro.experiments t1 f3 x5   # a selection
+
+Experiment ids match DESIGN.md section 4 (t1 t2 f1 f2 f3 f4 x1..x8).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+from repro.experiments.adaptive import run_adaptive
+from repro.experiments.conference import run_conference, run_fig4_wid_flow
+from repro.experiments.endtoend import run_endtoend
+from repro.experiments.figures import run_fig1, run_fig2
+from repro.experiments.model_costs import run_model_costs
+from repro.experiments.per_object import run_per_object
+from repro.experiments.sessions import run_sessions
+from repro.experiments.sweeps import (
+    run_initiative_and_transfer,
+    run_propagation,
+    run_transfer_instant,
+)
+from repro.experiments.tables import run_table1, run_table2
+
+RUNNERS: Dict[str, Callable] = {
+    "t1": run_table1,
+    "t2": run_table2,
+    "f1": run_fig1,
+    "f2": run_fig2,
+    "f3": run_conference,
+    "f4": run_fig4_wid_flow,
+    "x1": run_transfer_instant,
+    "x2": run_propagation,
+    "x3": run_per_object,
+    "x4": run_model_costs,
+    "x5": run_endtoend,
+    "x6": run_initiative_and_transfer,
+    "x7": run_sessions,
+    "x8": run_adaptive,
+}
+
+
+def main(argv: list) -> int:
+    requested = [arg.lower() for arg in argv] or list(RUNNERS)
+    unknown = [r for r in requested if r not in RUNNERS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}")
+        print(f"available: {', '.join(RUNNERS)}")
+        return 2
+    for exp_id in requested:
+        result = RUNNERS[exp_id]()
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

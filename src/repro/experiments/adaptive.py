@@ -1,0 +1,124 @@
+"""Experiment X8 (paper §5 future work): self-adaptive policies.
+
+A magazine-like object lives through two phases: an *editing* phase
+(writes dominate, few reads) and a *publication* phase (reads dominate,
+occasional corrections).  A static policy must pick one point in the
+Table-1 space for both phases; the adaptive controller retunes propagation
+(update vs invalidate) and transfer instant (immediate vs lazy) as the
+mix shifts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.experiments.harness import ExperimentResult, measure
+from repro.replication.adaptive import AdaptiveConfig, AdaptivePolicyController
+from repro.replication.policy import (
+    AccessTransfer,
+    CoherenceTransfer,
+    Propagation,
+    ReplicationPolicy,
+    TransferInstant,
+)
+from repro.sim.process import Delay, Process, WaitFor
+from repro.workload.scenarios import Deployment, build_tree
+
+PAGE = "issue.html"
+
+
+def _editor(deployment: Deployment, edits: int) -> Generator:
+    master = deployment.browsers["master"]
+    for index in range(edits):
+        yield Delay(0.4)
+        yield WaitFor(master.append_to_page(PAGE, f"<p>draft {index}</p>"))
+
+
+def _audience(deployment: Deployment, name: str, start: float,
+              reads: int) -> Generator:
+    browser = deployment.browsers[name]
+    yield Delay(start)
+    for _ in range(reads):
+        yield Delay(0.8)
+        try:
+            yield WaitFor(browser.read_page(PAGE))
+        except Exception:
+            pass
+
+
+def _run(seed: int, adaptive: bool, edits: int, reads: int,
+         n_caches: int) -> Tuple[Deployment, Optional[list]]:
+    policy = ReplicationPolicy(
+        coherence_transfer=CoherenceTransfer.PARTIAL,
+        access_transfer=AccessTransfer.PARTIAL,
+        lazy_interval=2.0,
+    )
+    deployment = build_tree(
+        policy=policy, n_caches=n_caches, n_readers_per_cache=1,
+        pages={PAGE: "<h1>magazine</h1>"}, seed=seed,
+    )
+    sim = deployment.sim
+    events = None
+    if adaptive:
+        controller = AdaptivePolicyController(
+            policy=policy,
+            primary=deployment.server.engine,
+            schedule=lambda delay, fn, daemon=False: sim.schedule(
+                delay, fn, daemon=daemon),
+            now=lambda: sim.now,
+            config=AdaptiveConfig(interval=2.0, lazy_at_writes=4),
+            observers=deployment.engines,
+        )
+        controller.start()
+        events = controller.events
+    # Phase 1: editing burst, no audience yet.
+    Process(sim, _editor(deployment, edits), "editor")
+    # Phase 2: the audience arrives once editing winds down.
+    publication_time = edits * 0.4 + 2.0
+    for name in list(deployment.browsers):
+        if name.startswith("reader"):
+            Process(sim, _audience(deployment, name, publication_time, reads),
+                    name)
+    sim.run_until_idle()
+    sim.run(until=sim.now + 2 * policy.lazy_interval + 1.0)
+    return deployment, events
+
+
+def run_adaptive(seed: int = 0, edits: int = 20, reads: int = 10,
+                 n_caches: int = 4) -> ExperimentResult:
+    """X8: static policy vs the self-adaptive controller."""
+    result = ExperimentResult(
+        name="X8: Self-adaptive policies (paper §5 future work)",
+        headers=["variant", "bytes on wire", "coherence msgs",
+                 "stale read fraction", "mean read latency (s)",
+                 "adaptations"],
+    )
+    measured: Dict[str, object] = {}
+    for label, adaptive in (("static (update/immediate)", False),
+                            ("adaptive", True)):
+        deployment, events = _run(seed, adaptive, edits, reads, n_caches)
+        metrics = measure(deployment)
+        measured[label] = {"metrics": metrics, "events": events or []}
+        result.add_row(
+            label,
+            metrics.traffic.bytes_sent,
+            metrics.traffic.coherence_messages,
+            f"{metrics.stale_fraction:.3f}",
+            f"{metrics.mean_read_latency:.4f}",
+            len(events) if events else 0,
+        )
+    result.data["measured"] = measured
+    adaptations = measured["adaptive"]["events"]
+    if adaptations:
+        for event in adaptations:
+            result.note(
+                f"t={event.time:.1f}s: {event.parameter} "
+                f"{event.old} -> {event.new} "
+                f"(window: {event.reads} reads / {event.writes} writes)"
+            )
+    result.note(
+        "During the editing burst the controller switches to lazy "
+        "aggregation (and, if reads stay rare, invalidation); when the "
+        "audience arrives it returns to immediate updates."
+    )
+    return result

@@ -1,0 +1,245 @@
+"""Experiments X1, X2, X6: sweeps over the Table-1 parameter axes.
+
+The paper argues qualitatively (Section 3.3) that the right setting of
+each implementation parameter depends on the object's usage; these sweeps
+measure it:
+
+- **X1** transfer instant: immediate vs lazy aggregation for a hot,
+  frequently-written object ("it may be more efficient to implement a
+  periodic update in which several updates are aggregated");
+- **X2** consistency propagation: update vs invalidate across read/write
+  ratios;
+- **X6** transfer initiative (push vs pull) and transfer types
+  (partial vs full).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Generator, List, Optional
+
+from repro.experiments.harness import ExperimentResult, measure
+from repro.replication.policy import (
+    AccessTransfer,
+    CoherenceTransfer,
+    Propagation,
+    ReplicationPolicy,
+    TransferInitiative,
+    TransferInstant,
+)
+from repro.sim.process import Process
+from repro.workload.generator import ReaderWorkload, WriterWorkload
+from repro.workload.scenarios import Deployment, build_tree
+
+#: A ten-page document with ~1 KiB pages, so partial-vs-full differences
+#: are visible in the byte counts.
+PAGES = {f"page-{i}.html": "c" * 1024 for i in range(10)}
+
+
+def _run_deployment(
+    policy: ReplicationPolicy,
+    seed: int,
+    n_caches: int,
+    writes: int,
+    reads_per_client: int,
+    write_interval: float = 0.5,
+    read_think: float = 0.5,
+    incremental: bool = False,
+    horizon: Optional[float] = None,
+) -> Deployment:
+    deployment = build_tree(
+        policy=policy,
+        n_caches=n_caches,
+        n_readers_per_cache=1,
+        pages=dict(PAGES),
+        seed=seed,
+    )
+    sim = deployment.sim
+    rng = sim.rng.fork("workload")
+    writer = WriterWorkload(
+        deployment.browsers["master"],
+        pages=list(PAGES),
+        rng=rng.fork("writer"),
+        interval=write_interval,
+        operations=writes,
+        incremental=incremental,
+        payload_bytes=1024,
+    )
+    workloads: List[object] = [writer]
+    for name, browser in deployment.browsers.items():
+        if name == "master":
+            continue
+        workloads.append(
+            ReaderWorkload(
+                browser,
+                pages=list(PAGES),
+                rng=rng.fork(name),
+                mean_think=read_think,
+                operations=reads_per_client,
+            )
+        )
+    for index, workload in enumerate(workloads):
+        Process(sim, workload.run(), name=f"wl-{index}")
+    sim.run(until=horizon, max_events=10_000_000)
+    if horizon is None:
+        sim.run_until_idle()
+        # Drain the final lazy window, if any.
+        sim.run(until=sim.now + 2 * policy.lazy_interval)
+    return deployment
+
+
+def run_transfer_instant(
+    seed: int = 0,
+    writes: int = 40,
+    n_caches: int = 8,
+    lazy_intervals: tuple = (1.0, 5.0, 20.0),
+) -> ExperimentResult:
+    """X1: immediate vs lazy update propagation for a hot object."""
+    result = ExperimentResult(
+        name="X1: Transfer instant -- immediate vs lazy (aggregated) updates",
+        headers=[
+            "Setting", "coherence msgs", "total wire KB",
+            "stale read fraction", "mean time lag (s)",
+        ],
+    )
+    variants = [("immediate", None)] + [
+        (f"lazy ({interval:g}s)", interval) for interval in lazy_intervals
+    ]
+    measured = {}
+    for label, interval in variants:
+        policy = ReplicationPolicy(
+            transfer_instant=(
+                TransferInstant.IMMEDIATE if interval is None
+                else TransferInstant.LAZY
+            ),
+            coherence_transfer=CoherenceTransfer.PARTIAL,
+            access_transfer=AccessTransfer.PARTIAL,
+        )
+        if interval is not None:
+            policy.lazy_interval = interval
+        deployment = _run_deployment(
+            policy, seed=seed, n_caches=n_caches, writes=writes,
+            reads_per_client=10, incremental=False,
+        )
+        metrics = measure(deployment)
+        measured[label] = metrics
+        result.add_row(
+            label,
+            metrics.traffic.coherence_messages,
+            f"{metrics.traffic.bytes_sent / 1024:.1f}",
+            f"{metrics.stale_fraction:.3f}",
+            f"{metrics.mean_time_lag:.3f}",
+        )
+    result.data["measured"] = measured
+    result.note(
+        "Lazy aggregation trades coherence traffic for staleness; the "
+        "longer the window, the fewer messages and the staler the reads "
+        "(Section 3.3's aggregation argument, measured)."
+    )
+    return result
+
+
+def run_propagation(
+    seed: int = 0,
+    writes: int = 30,
+    read_ratios: tuple = (0.2, 1.0, 5.0),
+    n_caches: int = 4,
+) -> ExperimentResult:
+    """X2: update vs invalidate across read/write ratios."""
+    result = ExperimentResult(
+        name="X2: Consistency propagation -- update vs invalidate",
+        headers=[
+            "reads per write", "propagation", "bytes on wire",
+            "coherence msgs", "mean read latency (s)",
+        ],
+    )
+    measured = {}
+    for ratio in read_ratios:
+        reads_per_client = max(1, int(writes * ratio / n_caches))
+        for propagation in (Propagation.UPDATE, Propagation.INVALIDATE):
+            policy = ReplicationPolicy(
+                propagation=propagation,
+                coherence_transfer=CoherenceTransfer.PARTIAL,
+                access_transfer=AccessTransfer.PARTIAL,
+            )
+            deployment = _run_deployment(
+                policy, seed=seed, n_caches=n_caches, writes=writes,
+                reads_per_client=reads_per_client, incremental=False,
+            )
+            metrics = measure(deployment)
+            measured[(ratio, propagation.value)] = metrics
+            result.add_row(
+                f"{ratio:g}",
+                propagation.value,
+                metrics.traffic.bytes_sent,
+                metrics.traffic.coherence_messages,
+                f"{metrics.mean_read_latency:.4f}",
+            )
+    result.data["measured"] = measured
+    result.note(
+        "Invalidation sends tiny invalidations and pays a refetch only on "
+        "the next read, so it wins on bytes when reads are rare; update "
+        "propagation wins read latency when reads dominate."
+    )
+    return result
+
+
+def run_initiative_and_transfer(
+    seed: int = 0,
+    writes: int = 20,
+    n_caches: int = 4,
+) -> ExperimentResult:
+    """X6: push vs pull initiative, partial vs full transfer types."""
+    result = ExperimentResult(
+        name="X6: Transfer initiative and transfer types",
+        headers=[
+            "initiative", "instant", "coherence transfer", "access transfer",
+            "bytes on wire", "coherence msgs", "stale fraction",
+            "mean read latency (s)",
+        ],
+    )
+    variants = [
+        (TransferInitiative.PUSH, TransferInstant.IMMEDIATE,
+         CoherenceTransfer.PARTIAL, AccessTransfer.PARTIAL),
+        (TransferInitiative.PUSH, TransferInstant.IMMEDIATE,
+         CoherenceTransfer.FULL, AccessTransfer.FULL),
+        (TransferInitiative.PULL, TransferInstant.IMMEDIATE,
+         CoherenceTransfer.PARTIAL, AccessTransfer.PARTIAL),
+        (TransferInitiative.PULL, TransferInstant.LAZY,
+         CoherenceTransfer.PARTIAL, AccessTransfer.PARTIAL),
+    ]
+    measured = {}
+    for initiative, instant, coherence, access in variants:
+        policy = ReplicationPolicy(
+            transfer_initiative=initiative,
+            transfer_instant=instant,
+            coherence_transfer=coherence,
+            access_transfer=access,
+            lazy_interval=2.0,
+        )
+        horizon = 60.0 if initiative is TransferInitiative.PULL else None
+        deployment = _run_deployment(
+            policy, seed=seed, n_caches=n_caches, writes=writes,
+            reads_per_client=10, incremental=False, horizon=horizon,
+        )
+        metrics = measure(deployment)
+        key = (initiative.value, instant.value, coherence.value, access.value)
+        measured[key] = metrics
+        result.add_row(
+            initiative.value,
+            instant.value,
+            coherence.value,
+            access.value,
+            metrics.traffic.bytes_sent,
+            metrics.traffic.coherence_messages,
+            f"{metrics.stale_fraction:.3f}",
+            f"{metrics.mean_read_latency:.4f}",
+        )
+    result.data["measured"] = measured
+    result.note(
+        "Partial transfer ships only modified pages; full transfer ships "
+        "the whole ten-page document each time.  Pull-on-access pays a "
+        "validation round trip per read (the IMS pattern); periodic pull "
+        "trades that for staleness."
+    )
+    return result

@@ -1,0 +1,23 @@
+"""Measurement and reporting (S14).
+
+Staleness, traffic and latency are derived *post hoc* from the shared
+execution trace and the network counters, never from protocol-internal
+bookkeeping, so a protocol bug cannot flatter its own numbers.
+"""
+
+from repro.metrics.report import Summary, percentile, summarize
+from repro.metrics.staleness import StalenessSample, read_staleness, staleness_summary
+from repro.metrics.tables import render_table
+from repro.metrics.traffic import TrafficSummary, collect_traffic
+
+__all__ = [
+    "StalenessSample",
+    "Summary",
+    "TrafficSummary",
+    "collect_traffic",
+    "percentile",
+    "read_staleness",
+    "render_table",
+    "staleness_summary",
+    "summarize",
+]

@@ -1,0 +1,60 @@
+"""Summary statistics helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation.
+
+    Returns 0.0 for empty input so report code stays branch-free.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return float(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
+
+
+@dataclasses.dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def row(self, label: str, fmt: str = "{:.4f}") -> List[str]:
+        """Render as a table row."""
+        return [
+            label,
+            str(self.count),
+            fmt.format(self.mean),
+            fmt.format(self.p50),
+            fmt.format(self.p95),
+            fmt.format(self.maximum),
+        ]
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary` (zeros for empty input)."""
+    if not values:
+        return Summary(count=0, mean=0.0, p50=0.0, p95=0.0, maximum=0.0)
+    return Summary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+        maximum=max(values),
+    )

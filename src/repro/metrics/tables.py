@@ -1,0 +1,74 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same row/column structure the paper's
+tables use; this module is the one renderer they all share.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List, Optional, Sequence
+
+
+def _wrap_cell(text: str, width: int) -> List[str]:
+    lines: List[str] = []
+    for paragraph in str(text).split("\n"):
+        wrapped = textwrap.wrap(paragraph, width=width) or [""]
+        lines.extend(wrapped)
+    return lines
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    max_cell_width: int = 48,
+) -> str:
+    """Render an ASCII table with wrapped cells.
+
+    Every cell is ``str()``-ed; cells wider than ``max_cell_width`` wrap
+    onto continuation lines.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for row in str_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+    widths = []
+    for index, header in enumerate(headers):
+        longest = max(
+            [len(header)] + [
+                len(line)
+                for row in str_rows
+                for line in _wrap_cell(row[index], max_cell_width)
+            ]
+        )
+        widths.append(min(longest, max_cell_width))
+
+    def rule(char: str = "-") -> str:
+        return "+" + "+".join(char * (w + 2) for w in widths) + "+"
+
+    def format_row(cells: Sequence[str]) -> List[str]:
+        wrapped = [_wrap_cell(cell, widths[i]) for i, cell in enumerate(cells)]
+        height = max(len(lines) for lines in wrapped)
+        out = []
+        for line_index in range(height):
+            parts = []
+            for col, lines in enumerate(wrapped):
+                text = lines[line_index] if line_index < len(lines) else ""
+                parts.append(f" {text.ljust(widths[col])} ")
+            out.append("|" + "|".join(parts) + "|")
+        return out
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(rule("="))
+    lines.extend(format_row(list(headers)))
+    lines.append(rule("="))
+    for row in str_rows:
+        lines.extend(format_row(row))
+        lines.append(rule())
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Traffic accounting: network totals plus per-store protocol counters."""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Dict, Iterable, Optional
+
+from repro.net.network import Network
+
+
+@dataclasses.dataclass
+class TrafficSummary:
+    """What a run put on the wire."""
+
+    datagrams_sent: int
+    datagrams_delivered: int
+    datagrams_dropped: int
+    bytes_sent: int
+    bytes_delivered: int
+    #: Per-message-kind counters aggregated over all stores
+    #: (``tx:update``, ``rx:read`` ...).
+    by_kind: Dict[str, int]
+
+    def kind(self, name: str) -> int:
+        """Counter for one message kind (0 when absent)."""
+        return self.by_kind.get(name, 0)
+
+    @property
+    def coherence_messages(self) -> int:
+        """Messages sent purely to keep replicas coherent."""
+        return sum(
+            self.by_kind.get(k, 0)
+            for k in (
+                "tx:update",
+                "tx:update_full",
+                "tx:invalidate",
+                "tx:notify",
+                "tx:demand",
+                "tx:demand_reply",
+            )
+        )
+
+
+def collect_traffic(
+    network: Network,
+    engines: Optional[Iterable] = None,
+) -> TrafficSummary:
+    """Aggregate network statistics and store-engine counters.
+
+    ``engines`` is any iterable of objects with a ``counters`` Counter
+    (typically ``StoreReplicationObject`` instances).
+    """
+    by_kind: collections.Counter = collections.Counter()
+    for engine in engines or ():
+        by_kind.update(engine.counters)
+    stats = network.stats
+    dropped = (
+        stats.datagrams_dropped_loss
+        + stats.datagrams_dropped_partition
+        + stats.datagrams_dropped_unregistered
+    )
+    return TrafficSummary(
+        datagrams_sent=stats.datagrams_sent,
+        datagrams_delivered=stats.datagrams_delivered,
+        datagrams_dropped=dropped,
+        bytes_sent=stats.bytes_sent,
+        bytes_delivered=stats.bytes_delivered,
+        by_kind=dict(by_kind),
+    )

@@ -1,0 +1,60 @@
+"""Object handle -> contact address resolution.
+
+In Globe, binding to a distributed shared object starts by resolving its
+handle to contact points.  This in-process service keeps the mapping and
+implements nearest-contact selection against a latency model, which is how
+clients end up bound to a nearby mirror rather than the distant origin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.latency import LatencyModel
+
+
+class UnknownObject(KeyError):
+    """Raised when resolving a handle that was never registered."""
+
+
+class NameService:
+    """Registry of contact addresses per distributed object."""
+
+    def __init__(self) -> None:
+        self._contacts: Dict[str, List[str]] = {}
+
+    def register(self, object_id: str, address: str) -> None:
+        """Add a contact address for an object (idempotent)."""
+        contacts = self._contacts.setdefault(object_id, [])
+        if address not in contacts:
+            contacts.append(address)
+
+    def unregister(self, object_id: str, address: str) -> None:
+        """Remove a contact address (no-op if absent)."""
+        contacts = self._contacts.get(object_id)
+        if contacts and address in contacts:
+            contacts.remove(address)
+
+    def resolve(self, object_id: str) -> List[str]:
+        """All contact addresses, in registration order."""
+        if object_id not in self._contacts or not self._contacts[object_id]:
+            raise UnknownObject(object_id)
+        return list(self._contacts[object_id])
+
+    def nearest(
+        self,
+        object_id: str,
+        from_address: str,
+        latency: Optional[LatencyModel] = None,
+    ) -> str:
+        """Contact address with the lowest one-way delay from a node.
+
+        Without a latency model the first registered contact wins, which
+        keeps unit tests deterministic.
+        """
+        contacts = self.resolve(object_id)
+        if latency is None:
+            return contacts[0]
+        return min(
+            contacts, key=lambda addr: latency.delay(from_address, addr, 0)
+        )

@@ -1,0 +1,36 @@
+"""Simulated wide-area network substrate (S2).
+
+Models the Internet underneath the Globe middleware: named nodes (address
+spaces) attached to a :class:`Network` that delivers datagrams with
+configurable latency, jitter, loss and partitions.  Transport-level
+guarantees (TCP-like reliable FIFO vs UDP-like lossy unordered) are layered
+on top in :mod:`repro.comm`.
+
+Public API
+----------
+- :class:`Network` -- datagram delivery between registered nodes.
+- :class:`LatencyModel` and implementations -- per-pair delay computation.
+- :class:`Topology` -- region/graph based node placement and latencies.
+"""
+
+from repro.net.latency import (
+    ConstantLatency,
+    GraphLatency,
+    LatencyModel,
+    RegionalLatency,
+    UniformLatency,
+)
+from repro.net.network import Network, NetworkStats
+from repro.net.topology import Region, Topology
+
+__all__ = [
+    "ConstantLatency",
+    "GraphLatency",
+    "LatencyModel",
+    "Network",
+    "NetworkStats",
+    "Region",
+    "RegionalLatency",
+    "Topology",
+    "UniformLatency",
+]

@@ -1,0 +1,190 @@
+"""Datagram-level network simulation.
+
+The :class:`Network` connects named nodes.  It delivers raw datagrams with a
+latency model, an optional loss rate, and optional partitions.  Two delivery
+classes are offered to the transport layer above:
+
+- **unreliable** datagrams may be dropped by loss or partitions and arrive
+  in whatever order their sampled delays dictate (UDP);
+- **reliable** datagrams are never dropped -- loss is assumed to be masked
+  by retransmission -- and are delivered FIFO per (src, dst) pair; during a
+  partition they queue and flush on heal (TCP).
+
+This split mirrors the paper's prototype, which used TCP "for the sake of
+simplicity" while observing that the coherence protocol's own ordering would
+permit UDP (Section 4.2; measured in experiment X5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.sim.kernel import Simulator
+
+#: A receive handler: ``handler(src, payload, size_bytes)``.
+ReceiveHandler = Callable[[str, object, int], None]
+
+
+@dataclasses.dataclass
+class NetworkStats:
+    """Counters for everything the network carried or dropped."""
+
+    datagrams_sent: int = 0
+    datagrams_delivered: int = 0
+    datagrams_dropped_loss: int = 0
+    datagrams_dropped_partition: int = 0
+    datagrams_dropped_unregistered: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters in place."""
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
+
+
+class NodeNotRegistered(KeyError):
+    """Raised when sending from a node that never registered a handler."""
+
+
+class Network:
+    """Simulated datagram network between named nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate!r}")
+        self.sim = sim
+        self.latency = latency or ConstantLatency()
+        self.loss_rate = loss_rate
+        self.stats = NetworkStats()
+        self._handlers: Dict[str, ReceiveHandler] = {}
+        self._fifo_clock: Dict[Tuple[str, str], float] = {}
+        self._partitions: List[Tuple[FrozenSet[str], FrozenSet[str]]] = []
+        self._partition_queue: List[Tuple[str, str, object, int]] = []
+        self._loss_rng = sim.rng.fork("network-loss")
+
+    # -- membership -----------------------------------------------------------
+
+    def register(self, node: str, handler: ReceiveHandler) -> None:
+        """Attach a node; datagrams addressed to it invoke ``handler``."""
+        self._handlers[node] = handler
+
+    def unregister(self, node: str) -> None:
+        """Detach a node; subsequent datagrams to it are dropped."""
+        self._handlers.pop(node, None)
+
+    def is_registered(self, node: str) -> bool:
+        """Whether a node currently has a receive handler."""
+        return node in self._handlers
+
+    # -- partitions -------------------------------------------------------------
+
+    def partition(self, side_a: Sequence[str], side_b: Sequence[str]) -> None:
+        """Cut connectivity between two node sets until :meth:`heal`."""
+        self._partitions.append((frozenset(side_a), frozenset(side_b)))
+
+    def heal(self) -> None:
+        """Remove all partitions and flush queued reliable traffic."""
+        self._partitions.clear()
+        queued, self._partition_queue = self._partition_queue, []
+        for src, dst, payload, size in queued:
+            self._deliver_reliable(src, dst, payload, size)
+
+    def partitioned(self, src: str, dst: str) -> bool:
+        """Whether a partition currently separates ``src`` and ``dst``."""
+        for side_a, side_b in self._partitions:
+            if (src in side_a and dst in side_b) or (
+                src in side_b and dst in side_a
+            ):
+                return True
+        return False
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload: object,
+        size_bytes: int = 0,
+        reliable: bool = True,
+    ) -> None:
+        """Send one datagram.  ``reliable`` selects the delivery class."""
+        if src not in self._handlers:
+            raise NodeNotRegistered(src)
+        self.stats.datagrams_sent += 1
+        self.stats.bytes_sent += size_bytes
+        if dst not in self._handlers:
+            self.stats.datagrams_dropped_unregistered += 1
+            return
+        if self.partitioned(src, dst):
+            if reliable:
+                self._partition_queue.append((src, dst, payload, size_bytes))
+            else:
+                self.stats.datagrams_dropped_partition += 1
+            return
+        if reliable:
+            self._deliver_reliable(src, dst, payload, size_bytes)
+        else:
+            self._deliver_unreliable(src, dst, payload, size_bytes)
+
+    def multicast(
+        self,
+        src: str,
+        dsts: Sequence[str],
+        payload: object,
+        size_bytes: int = 0,
+        reliable: bool = True,
+    ) -> None:
+        """Send the same payload to every destination (skipping ``src``)."""
+        for dst in dsts:
+            if dst != src:
+                self.send(src, dst, payload, size_bytes, reliable=reliable)
+
+    # -- delivery ------------------------------------------------------------------
+
+    def _deliver_reliable(
+        self, src: str, dst: str, payload: object, size_bytes: int
+    ) -> None:
+        delay = self.latency.delay(src, dst, size_bytes)
+        arrival = self.sim.now + delay
+        # FIFO clamp: a reliable stream never reorders within a (src, dst)
+        # pair, exactly like a TCP connection.
+        key = (src, dst)
+        floor = self._fifo_clock.get(key, 0.0)
+        if arrival < floor:
+            arrival = floor
+        self._fifo_clock[key] = arrival
+        self.sim.schedule_at(arrival, self._arrive, src, dst, payload, size_bytes)
+
+    def _deliver_unreliable(
+        self, src: str, dst: str, payload: object, size_bytes: int
+    ) -> None:
+        if self.loss_rate > 0 and self._loss_rng.bernoulli(self.loss_rate):
+            self.stats.datagrams_dropped_loss += 1
+            return
+        delay = self.latency.delay(src, dst, size_bytes)
+        self.sim.schedule(delay, self._arrive, src, dst, payload, size_bytes)
+
+    def _arrive(self, src: str, dst: str, payload: object, size_bytes: int) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.stats.datagrams_dropped_unregistered += 1
+            return
+        self.stats.datagrams_delivered += 1
+        self.stats.bytes_delivered += size_bytes
+        handler(src, payload, size_bytes)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Set[str]:
+        """The currently registered node names."""
+        return set(self._handlers)

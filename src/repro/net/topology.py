@@ -1,0 +1,132 @@
+"""Topology builders: regions and canned wide-area layouts.
+
+A :class:`Topology` assigns node names to :class:`Region` objects and
+produces a :class:`repro.net.latency.RegionalLatency` model.  The canned
+layouts approximate the 1998-era Internet the paper targeted: an origin
+server on one continent, proxies per region, browsers behind the proxies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.latency import RegionalLatency
+from repro.sim.rng import SeededRng
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """A named region with its intra-region one-way latency."""
+
+    name: str
+    intra_latency: float = 0.005
+
+
+#: One-way latencies (seconds) between representative continental regions,
+#: loosely calibrated to late-1990s transoceanic RTTs (paper era).
+DEFAULT_REGION_LATENCY: Dict[Tuple[str, str], float] = {
+    ("europe", "us-east"): 0.060,
+    ("europe", "us-west"): 0.090,
+    ("europe", "asia"): 0.140,
+    ("europe", "oceania"): 0.160,
+    ("us-east", "us-west"): 0.035,
+    ("us-east", "asia"): 0.110,
+    ("us-east", "oceania"): 0.120,
+    ("us-west", "asia"): 0.080,
+    ("us-west", "oceania"): 0.090,
+    ("asia", "oceania"): 0.060,
+}
+
+
+class Topology:
+    """Mutable node-to-region assignment plus latency-model construction."""
+
+    def __init__(
+        self,
+        regions: Optional[List[Region]] = None,
+        region_latency: Optional[Dict[Tuple[str, str], float]] = None,
+    ) -> None:
+        self.regions: Dict[str, Region] = {}
+        for region in regions or []:
+            self.regions[region.name] = region
+        self.region_latency = dict(region_latency or {})
+        self.node_region: Dict[str, str] = {}
+
+    def add_region(self, name: str, intra_latency: float = 0.005) -> Region:
+        """Create a region; idempotent if it already exists with same name."""
+        region = Region(name=name, intra_latency=intra_latency)
+        self.regions[name] = region
+        return region
+
+    def connect(self, a: str, b: str, latency: float) -> None:
+        """Set the one-way latency between two regions."""
+        if a not in self.regions or b not in self.regions:
+            raise KeyError(f"both regions must exist: {a!r}, {b!r}")
+        self.region_latency[(a, b)] = latency
+
+    def place(self, node: str, region: str) -> None:
+        """Assign a node to a region."""
+        if region not in self.regions:
+            raise KeyError(f"unknown region {region!r}")
+        self.node_region[node] = region
+
+    def nodes_in(self, region: str) -> List[str]:
+        """All nodes currently placed in a region, in placement order."""
+        return [n for n, r in self.node_region.items() if r == region]
+
+    def latency_model(
+        self,
+        rng: Optional[SeededRng] = None,
+        jitter_fraction: float = 0.1,
+        bandwidth_bps: Optional[float] = None,
+    ) -> RegionalLatency:
+        """Build the :class:`RegionalLatency` model for the current layout."""
+        intra = 0.005
+        if self.regions:
+            # RegionalLatency has one intra-region figure; use the mean so
+            # heterogeneous regions stay roughly honest.
+            values = [r.intra_latency for r in self.regions.values()]
+            intra = sum(values) / len(values)
+        return RegionalLatency(
+            node_region=self.node_region,
+            region_latency=self.region_latency,
+            intra_region=intra,
+            jitter_fraction=jitter_fraction,
+            rng=rng,
+            bandwidth_bps=bandwidth_bps,
+        )
+
+    # -- canned layouts ------------------------------------------------------
+
+    @classmethod
+    def single_lan(cls, latency: float = 0.001) -> "Topology":
+        """Everything in one LAN; the degenerate case for unit tests."""
+        topo = cls()
+        topo.add_region("lan", intra_latency=latency)
+        return topo
+
+    @classmethod
+    def continental(cls) -> "Topology":
+        """Five-continent layout with era-appropriate latencies."""
+        topo = cls()
+        for name in ("europe", "us-east", "us-west", "asia", "oceania"):
+            topo.add_region(name)
+        topo.region_latency = dict(DEFAULT_REGION_LATENCY)
+        return topo
+
+    @classmethod
+    def client_server_wan(
+        cls,
+        n_clients: int,
+        server_region: str = "europe",
+        client_region: str = "us-east",
+    ) -> "Topology":
+        """The paper's simplest deployment: one origin server far from a
+        population of clients.  Returns topology with nodes ``server`` and
+        ``client-0..n-1`` placed."""
+        topo = cls.continental()
+        topo.place("server", server_region)
+        for index in range(n_clients):
+            topo.place(f"client-{index}", client_region)
+        return topo

@@ -1,0 +1,48 @@
+"""Replication engine and the Table-1 policy space (S9).
+
+One policy-parameterized engine (design decision D3) implements every
+replication strategy the paper's Table 1 spans: a
+:class:`ReplicationPolicy` names the coherence model plus the seven
+implementation parameters and the two outdate reactions; the
+:class:`StoreReplicationObject` and :class:`ClientReplicationObject`
+interpret it at stores and clients respectively.
+"""
+
+from repro.replication.policy import (
+    AccessTransfer,
+    CoherenceTransfer,
+    OutdateReaction,
+    Propagation,
+    ReplicationPolicy,
+    StoreScope,
+    TransferInitiative,
+    TransferInstant,
+    WriteSet,
+    TABLE1_ROWS,
+)
+from repro.replication.adaptive import (
+    AdaptationEvent,
+    AdaptiveConfig,
+    AdaptivePolicyController,
+)
+from repro.replication.engine import StoreReplicationObject
+from repro.replication.client import ClientReplicationObject, ReplicaError
+
+__all__ = [
+    "AccessTransfer",
+    "AdaptationEvent",
+    "AdaptiveConfig",
+    "AdaptivePolicyController",
+    "ClientReplicationObject",
+    "CoherenceTransfer",
+    "OutdateReaction",
+    "Propagation",
+    "ReplicaError",
+    "ReplicationPolicy",
+    "StoreReplicationObject",
+    "StoreScope",
+    "TABLE1_ROWS",
+    "TransferInitiative",
+    "TransferInstant",
+    "WriteSet",
+]

@@ -1,0 +1,33 @@
+"""Protocol message kinds exchanged between replication objects.
+
+Kept in one module so stores, clients and tests agree on the vocabulary.
+"""
+
+#: Client -> store: submit a write (request; reply WRITE_ACK or ERROR).
+WRITE = "write"
+#: Store -> client: write accepted/applied {wid, version}.
+WRITE_ACK = "write_ack"
+#: Client -> store: serve a read (request; reply READ_REPLY or ERROR).
+READ = "read"
+#: Store -> client: read result {result, version}.
+READ_REPLY = "read_reply"
+#: Store -> store (down): batch of write records {records}.
+UPDATE = "update"
+#: Store -> store (down): full snapshot {state, version, next_global}.
+UPDATE_FULL = "update_full"
+#: Store -> store (down): invalidation {keys|None, version}.
+INVALIDATE = "invalidate"
+#: Store -> store (down): change notification {version}.
+NOTIFY = "notify"
+#: Store -> store (up): catch-up request {have, want_full, keys}.
+DEMAND = "demand"
+#: Store -> store (down): catch-up reply; one of three shapes:
+#: {records}, {full: True, state, version, next_global},
+#: {partial: True, state, as_of, absent}.
+DEMAND_REPLY = "demand_reply"
+#: Store -> store (up): register as a propagation child {address, role}.
+SUBSCRIBE = "subscribe"
+#: Store -> store (up): deregister {address}.
+UNSUBSCRIBE = "unsubscribe"
+#: Any -> any: failure reply {error}.
+ERROR = "error"

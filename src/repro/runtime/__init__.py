@@ -1,0 +1,17 @@
+"""Live (wall-clock, threaded) runtime (S16).
+
+The same protocol code that runs on the deterministic simulator can run on
+real threads and real time: :class:`LiveLoop` implements the
+:class:`~repro.sim.kernel.Simulator` scheduling interface against a
+wall-clock timer thread, and :class:`LiveNetwork` implements the
+:class:`~repro.net.network.Network` delivery interface over in-process
+queues with optional injected latency.
+
+This is the moral equivalent of the paper's Java-over-TCP prototype for
+running the examples "live"; all quantitative experiments stay on the
+simulator for determinism.
+"""
+
+from repro.runtime.live import LiveLoop, LiveNetwork
+
+__all__ = ["LiveLoop", "LiveNetwork"]

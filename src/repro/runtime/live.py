@@ -1,0 +1,167 @@
+"""Wall-clock runtime: the simulator interface over real threads.
+
+One dispatcher thread owns all protocol state, exactly like the simulator
+owns it in virtual time, so protocol code needs no locks.  Public entry
+points (:meth:`LiveLoop.schedule`, :meth:`LiveNetwork.send`, client stub
+calls via :meth:`LiveLoop.submit`) enqueue work onto the dispatcher.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.rng import SeededRng
+
+
+class _LiveEvent:
+    """A scheduled callback in wall-clock time."""
+
+    __slots__ = ("when", "seq", "fn", "args", "cancelled", "daemon")
+
+    def __init__(self, when: float, seq: int, fn, args, daemon: bool) -> None:
+        self.when = when
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.daemon = daemon
+
+    def __lt__(self, other: "_LiveEvent") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self.cancelled = True
+
+
+class LiveLoop:
+    """Wall-clock scheduler compatible with the Simulator interface.
+
+    Only the subset the protocol stack uses is provided: ``now``,
+    ``schedule`` and an ``rng``.  Start with :meth:`start`, stop with
+    :meth:`stop`.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = SeededRng(seed)
+        self._queue: list = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+        self._epoch = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        """Seconds since the loop was created."""
+        return time.monotonic() - self._epoch
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
+                 daemon: bool = False) -> _LiveEvent:
+        """Run ``fn(*args)`` on the dispatcher ``delay`` seconds from now."""
+        event = _LiveEvent(
+            when=self.now + max(0.0, delay),
+            seq=next(self._seq),
+            fn=fn,
+            args=args,
+            daemon=daemon,
+        )
+        with self._wakeup:
+            heapq.heappush(self._queue, event)
+            self._wakeup.notify()
+        return event
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> _LiveEvent:
+        """Run ``fn(*args)`` on the dispatcher as soon as possible."""
+        return self.schedule(0.0, fn, *args)
+
+    def start(self) -> None:
+        """Start the dispatcher thread."""
+        if self._running:
+            return
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._dispatch, name="repro-live-loop", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Stop the dispatcher and join its thread."""
+        with self._wakeup:
+            self._running = False
+            self._wakeup.notify()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def _dispatch(self) -> None:
+        while True:
+            with self._wakeup:
+                if not self._running:
+                    return
+                if not self._queue:
+                    self._wakeup.wait(timeout=0.1)
+                    continue
+                head = self._queue[0]
+                delay = head.when - self.now
+                if delay > 0:
+                    self._wakeup.wait(timeout=min(delay, 0.1))
+                    continue
+                event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            try:
+                event.fn(*event.args)
+            except Exception:  # pragma: no cover - live-mode resilience
+                # A protocol callback must not kill the dispatcher; in the
+                # simulator the same error would surface in the test.
+                import traceback
+
+                traceback.print_exc()
+
+
+class LiveNetwork:
+    """In-process message delivery compatible with the Network interface.
+
+    Delivery happens on the loop's dispatcher thread after the configured
+    latency, preserving the single-threaded protocol model.
+    """
+
+    def __init__(self, loop: LiveLoop, latency: float = 0.0) -> None:
+        self.loop = loop
+        self.latency = latency
+        self._handlers: Dict[str, Callable] = {}
+        self._lock = threading.Lock()
+
+    def register(self, node: str, handler: Callable) -> None:
+        """Attach a node's receive handler."""
+        with self._lock:
+            self._handlers[node] = handler
+
+    def unregister(self, node: str) -> None:
+        """Detach a node."""
+        with self._lock:
+            self._handlers.pop(node, None)
+
+    def send(self, src: str, dst: str, payload: object,
+             size_bytes: int = 0, reliable: bool = True) -> None:
+        """Deliver after the configured latency, on the dispatcher."""
+        def deliver() -> None:
+            with self._lock:
+                handler = self._handlers.get(dst)
+            if handler is not None:
+                handler(src, payload, size_bytes)
+
+        self.loop.schedule(self.latency, deliver)
+
+    def multicast(self, src: str, dsts, payload: object,
+                  size_bytes: int = 0, reliable: bool = True) -> None:
+        """Send to each destination."""
+        for dst in dsts:
+            if dst != src:
+                self.send(src, dst, payload, size_bytes, reliable=reliable)

@@ -1,0 +1,37 @@
+"""Deterministic discrete-event simulation kernel (substrate S1).
+
+The paper's prototype ran a handful of JVMs over TCP on the 1997 Internet.
+This package replaces that testbed with a deterministic discrete-event
+simulator: simulated processes exchange messages through a simulated network
+(:mod:`repro.net`), and every run is exactly reproducible from its seed.
+
+Public API
+----------
+- :class:`Simulator` -- the event loop and virtual clock.
+- :class:`Event` -- a scheduled callback, cancellable.
+- :class:`Future` -- a one-shot result container usable from coroutines.
+- :class:`Process` -- a generator-based simulated process.
+- :class:`Delay` / :class:`WaitFor` -- the values a process may yield.
+- :class:`SeededRng` -- the single source of randomness for a simulation.
+"""
+
+from repro.sim.errors import SimulationError, SimulationLimitExceeded
+from repro.sim.events import Event
+from repro.sim.future import Future, FutureCancelled
+from repro.sim.kernel import Simulator
+from repro.sim.process import Delay, Process, ProcessKilled, WaitFor
+from repro.sim.rng import SeededRng
+
+__all__ = [
+    "Delay",
+    "Event",
+    "Future",
+    "FutureCancelled",
+    "Process",
+    "ProcessKilled",
+    "SeededRng",
+    "SimulationError",
+    "SimulationLimitExceeded",
+    "Simulator",
+    "WaitFor",
+]

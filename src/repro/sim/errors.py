@@ -1,0 +1,18 @@
+"""Exceptions raised by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class SimulationLimitExceeded(SimulationError):
+    """Raised when a run exceeds its configured event or time budget.
+
+    The kernel enforces the budget so that a buggy protocol that schedules
+    events forever (for example, a retry loop that never succeeds) fails the
+    test that drives it instead of hanging the test suite.
+    """
+
+
+class SchedulingInPastError(SimulationError):
+    """Raised when an event is scheduled before the current virtual time."""

@@ -1,0 +1,51 @@
+"""Scheduled events.
+
+Events order by ``(time, seq)``.  The sequence number is assigned by the
+kernel in scheduling order, which makes the execution order of simultaneous
+events deterministic (design decision D5 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+
+@dataclasses.dataclass(order=True)
+class Event:
+    """A callback scheduled at a point in virtual time.
+
+    Instances are created by :meth:`repro.sim.kernel.Simulator.schedule`;
+    user code only holds them to call :meth:`cancel`.
+
+    ``daemon`` events (periodic pulls, housekeeping) do not keep a
+    drain-the-queue run alive: :meth:`repro.sim.kernel.Simulator.run` with
+    no deadline stops once only daemon events remain.
+    """
+
+    time: float
+    seq: int
+    fn: Callable[..., Any] = dataclasses.field(compare=False)
+    args: tuple = dataclasses.field(compare=False, default=())
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+    daemon: bool = dataclasses.field(compare=False, default=False)
+    _cancel_hook: Callable[[], None] = dataclasses.field(
+        compare=False, default=None, repr=False
+    )
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Cancelling an already-fired or already-cancelled event is a no-op;
+        this mirrors the semantics of ``threading.Timer.cancel`` and keeps
+        protocol teardown paths simple.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self._cancel_hook is not None:
+                self._cancel_hook()
+
+    def fire(self) -> None:
+        """Run the callback unless the event was cancelled."""
+        if not self.cancelled:
+            self.fn(*self.args)

@@ -1,0 +1,164 @@
+"""The discrete-event simulation kernel.
+
+The kernel is a priority queue of :class:`repro.sim.events.Event` ordered by
+``(virtual time, scheduling order)``.  All components of a simulated system
+-- network links, replication objects, client processes -- share one kernel
+and therefore one virtual clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.sim.errors import (
+    SchedulingInPastError,
+    SimulationLimitExceeded,
+)
+from repro.sim.events import Event
+from repro.sim.rng import SeededRng
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide random number generator.  Two
+        simulations built with the same seed and the same scheduling calls
+        execute identically (design decision D5).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue: List[Event] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._fired: int = 0
+        self._live: int = 0  # pending non-daemon, non-cancelled events
+        self.rng = SeededRng(seed)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the queue, including cancelled ones."""
+        return len(self._queue)
+
+    @property
+    def live_pending(self) -> int:
+        """Pending non-daemon events; a drain run ends when this hits 0."""
+        return self._live
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        daemon: bool = False,
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        ``daemon`` marks housekeeping (periodic pulls and the like) that
+        should not keep :meth:`run_until_idle` alive.
+        """
+        if delay < 0:
+            raise SchedulingInPastError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, fn, *args, daemon=daemon)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        daemon: bool = False,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at an absolute virtual time."""
+        if time < self._now:
+            raise SchedulingInPastError(
+                f"cannot schedule at {time!r}; clock is already at {self._now!r}"
+            )
+        event = Event(time=time, seq=self._seq, fn=fn, args=args, daemon=daemon)
+        self._seq += 1
+        if not daemon:
+            self._live += 1
+            event._cancel_hook = self._on_live_cancel
+        heapq.heappush(self._queue, event)
+        return event
+
+    def _on_live_cancel(self) -> None:
+        self._live -= 1
+
+    def call_now(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current time (after pending events
+        already scheduled for this instant)."""
+        return self.schedule(0.0, fn, *args)
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if not event.daemon:
+                self._live -= 1
+            self._now = event.time
+            self._fired += 1
+            event.fire()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> float:
+        """Run until drained, ``until`` is reached, or the budget runs out.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event lies strictly beyond this time; the
+            clock is then advanced to ``until`` so timed assertions read a
+            stable value.  With no deadline the run stops when only daemon
+            events (periodic housekeeping) remain.
+        max_events:
+            Safety budget; exceeding it raises
+            :class:`SimulationLimitExceeded` rather than hanging the caller.
+
+        Returns
+        -------
+        float
+            The virtual time at which the run stopped.
+        """
+        fired = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is None and self._live == 0:
+                break
+            if until is not None and head.time > until:
+                break
+            if fired >= max_events:
+                raise SimulationLimitExceeded(
+                    f"run exceeded {max_events} events at t={self._now}"
+                )
+            self.step()
+            fired += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run until no live (non-daemon) events remain."""
+        return self.run(until=None, max_events=max_events)

@@ -1,0 +1,116 @@
+"""Seeded randomness for simulations.
+
+All stochastic behaviour in a simulation -- network jitter, message loss,
+workload inter-arrival times, Zipf page selection -- draws from one
+:class:`SeededRng` owned by the :class:`repro.sim.kernel.Simulator`.
+Components may fork child generators (:meth:`SeededRng.fork`) so that adding
+a new consumer does not perturb the draws seen by existing ones.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRng:
+    """A deterministic random source with distribution helpers."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+        self._forks = 0
+
+    def fork(self, label: str = "") -> "SeededRng":
+        """Create an independent child generator.
+
+        The child's seed is derived from the parent seed, the fork index and
+        an optional label, so fork order plus labels fully determine every
+        stream.
+        """
+        self._forks += 1
+        child_seed = hash((self.seed, self._forks, label)) & 0x7FFFFFFF
+        return SeededRng(child_seed)
+
+    # -- thin pass-throughs -------------------------------------------------
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        return self._random.randint(low, high)
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Uniformly chosen element of a non-empty sequence."""
+        return self._random.choice(items)
+
+    def shuffle(self, items: List[T]) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._random.shuffle(items)
+
+    def sample(self, items: Sequence[T], k: int) -> List[T]:
+        """k distinct elements chosen without replacement."""
+        return self._random.sample(items, k)
+
+    # -- distributions ------------------------------------------------------
+
+    def exponential(self, mean: float) -> float:
+        """Exponentially distributed value with the given mean.
+
+        Used for Poisson inter-arrival times in workload generators.
+        """
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean!r}")
+        return self._random.expovariate(1.0 / mean)
+
+    def pareto(self, alpha: float, minimum: float = 1.0) -> float:
+        """Pareto-distributed value, the classic heavy tail for web object
+        sizes and think times."""
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha!r}")
+        return minimum * self._random.paretovariate(alpha)
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability ``p``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {p!r}")
+        return self._random.random() < p
+
+    def zipf(self, n: int, s: float = 1.0) -> int:
+        """Zipf-distributed rank in [0, n), rank 0 most popular.
+
+        Web page popularity is famously Zipf-like; this drives the workload
+        generators in :mod:`repro.workload`.
+        """
+        if n <= 0:
+            raise ValueError(f"population size must be positive, got {n!r}")
+        weights = self.zipf_weights(n, s)
+        return self.weighted_index(weights)
+
+    @staticmethod
+    def zipf_weights(n: int, s: float = 1.0) -> List[float]:
+        """Normalized Zipf(s) probabilities for ranks 0..n-1."""
+        raw = [1.0 / math.pow(rank + 1, s) for rank in range(n)]
+        total = sum(raw)
+        return [w / total for w in raw]
+
+    def weighted_index(self, weights: Sequence[float]) -> int:
+        """Index drawn with probability proportional to ``weights``."""
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        target = self._random.random() * sum(weights)
+        cumulative = 0.0
+        for index, weight in enumerate(weights):
+            cumulative += weight
+            if target < cumulative:
+                return index
+        return len(weights) - 1

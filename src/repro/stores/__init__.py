@@ -1,0 +1,18 @@
+"""Store hierarchy utilities (S10).
+
+The store classes themselves live with the DSO assembly
+(:class:`repro.core.dso.Store`); this package adds the Fig. 2 layer view
+and hierarchy introspection used by experiments F1/F2.
+"""
+
+from repro.core.dso import Store
+from repro.core.interfaces import Role, STORE_LAYERS
+from repro.stores.hierarchy import HierarchyView, describe_hierarchy
+
+__all__ = [
+    "HierarchyView",
+    "Role",
+    "STORE_LAYERS",
+    "Store",
+    "describe_hierarchy",
+]

@@ -1,0 +1,15 @@
+"""Web documents as distributed shared objects (S11).
+
+The paper models "a Web document [as] a collection of HTML pages, together
+with files for images, applets, etc., which jointly comprise the state of
+the distributed shared object".  :class:`WebDocument` is that semantics
+object; :class:`WebObject` is the developer-facing facade that packages a
+document with a replication policy into a distributed shared object, and
+:class:`Browser` is the typed client stub.
+"""
+
+from repro.web.page import Page, PageNotFound
+from repro.web.document import WebDocument
+from repro.web.webobject import Browser, WebObject
+
+__all__ = ["Browser", "Page", "PageNotFound", "WebDocument", "WebObject"]

@@ -1,0 +1,176 @@
+"""The Web-document semantics object.
+
+Implements the paper's document interface -- "a method for selecting a
+page, and reading it in HTML format ... likewise, we offer a method for
+replacing one of the document's pages" -- plus the incremental operations
+(append) the PRAM example depends on.
+
+All methods are reached through marshalled invocations; nothing in the
+replication machinery knows these method names.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.comm.invocation import MarshalledInvocation
+from repro.core.interfaces import SemanticsObject
+from repro.web.page import Page, PageNotFound
+
+
+class WebDocument(SemanticsObject):
+    """A collection of named pages with versions.
+
+    Parameters
+    ----------
+    pages:
+        Initial content, name -> HTML string.
+    clock:
+        Callable returning the current time for ``last_modified`` stamps;
+        the hosting store injects the simulation clock via
+        :meth:`set_clock`.
+    """
+
+    #: Methods that modify state; everything else is read-only.
+    WRITE_METHODS = frozenset(
+        {"write_page", "append_to_page", "delete_page"}
+    )
+
+    def __init__(
+        self,
+        pages: Optional[Dict[str, str]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.pages: Dict[str, Page] = {}
+        self._clock = clock or (lambda: 0.0)
+        for name, content in (pages or {}).items():
+            self.pages[name] = Page(
+                name=name, content=content, version=1, last_modified=0.0
+            )
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Inject the time source used for ``last_modified`` stamps."""
+        self._clock = clock
+
+    # -- document methods (invocation targets) ------------------------------
+
+    def read_page(self, name: str) -> Dict[str, Any]:
+        """Return a page's content and metadata."""
+        page = self.pages.get(name)
+        if page is None:
+            raise PageNotFound(name)
+        return page.to_dict()
+
+    def write_page(
+        self, name: str, content: str, content_type: str = "text/html"
+    ) -> Dict[str, Any]:
+        """Create or replace a page."""
+        existing = self.pages.get(name)
+        version = existing.version + 1 if existing is not None else 1
+        page = Page(
+            name=name,
+            content=content,
+            content_type=content_type,
+            version=version,
+            last_modified=self._clock(),
+        )
+        self.pages[name] = page
+        return {"name": name, "version": version}
+
+    def append_to_page(self, name: str, text: str) -> Dict[str, Any]:
+        """Incrementally extend a page (creating it if absent).
+
+        The operation the paper's conference-page master performs: it is
+        order-sensitive, which is what makes PRAM coherence necessary.
+        """
+        existing = self.pages.get(name)
+        if existing is None:
+            return self.write_page(name, text)
+        existing.content += text
+        existing.version += 1
+        existing.last_modified = self._clock()
+        return {"name": name, "version": existing.version}
+
+    def delete_page(self, name: str) -> Dict[str, Any]:
+        """Remove a page."""
+        if name not in self.pages:
+            raise PageNotFound(name)
+        del self.pages[name]
+        return {"name": name, "deleted": True}
+
+    def list_pages(self) -> List[str]:
+        """Names of all pages, sorted."""
+        return sorted(self.pages)
+
+    def page_count(self) -> int:
+        """Number of pages."""
+        return len(self.pages)
+
+    def total_size(self) -> int:
+        """Total content bytes across all pages."""
+        return sum(page.size_bytes() for page in self.pages.values())
+
+    # -- SemanticsObject interface ----------------------------------------------
+
+    def apply(self, invocation: MarshalledInvocation) -> Any:
+        method = getattr(self, invocation.method, None)
+        if method is None or invocation.method.startswith("_"):
+            raise AttributeError(
+                f"WebDocument has no method {invocation.method!r}"
+            )
+        return method(*invocation.args, **invocation.kwargs_dict())
+
+    def touched_keys(self, invocation: MarshalledInvocation) -> Sequence[str]:
+        if invocation.method in (
+            "read_page", "write_page", "append_to_page", "delete_page"
+        ):
+            if invocation.args:
+                return (str(invocation.args[0]),)
+            kwargs = invocation.kwargs_dict()
+            if "name" in kwargs:
+                return (str(kwargs["name"]),)
+        return ()
+
+    def missing_keys(self, keys: Sequence[str]) -> Sequence[str]:
+        return tuple(key for key in keys if key not in self.pages)
+
+    def can_apply(self, invocation: MarshalledInvocation) -> bool:
+        # Appends and deletes are deltas: they need the base page.  A
+        # replica that never cached the page must skip them (the engine
+        # marks the page uncached; a later read refetches it whole).
+        if invocation.method in ("append_to_page", "delete_page"):
+            keys = self.touched_keys(invocation)
+            return not self.missing_keys(keys)
+        return True
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {name: page.to_dict() for name, page in self.pages.items()}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self.pages = {
+            name: Page.from_dict(data) for name, data in state.items()
+        }
+
+    def partial_snapshot(self, keys: Sequence[str]) -> Dict[str, Any]:
+        return {
+            name: self.pages[name].to_dict()
+            for name in keys
+            if name in self.pages
+        }
+
+    def restore_partial(self, state: Dict[str, Any]) -> None:
+        for name, data in state.items():
+            self.pages[name] = Page.from_dict(data)
+
+    def fresh(self) -> "WebDocument":
+        return WebDocument(clock=self._clock)
+
+    # -- equality (convergence checks compare snapshots) ----------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WebDocument):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()
+
+    def __hash__(self) -> int:  # pragma: no cover - documents are mutable
+        return id(self)

@@ -1,0 +1,26 @@
+"""Workload generation (S13).
+
+Synthetic but realistic Web traffic: Zipf page popularity, Poisson think
+times, single-master incremental updates (the paper's conference page),
+multi-writer overwrite streams (whiteboards), and scenario builders that
+assemble whole deployments (server + mirrors + caches + browsers) in one
+call.
+"""
+
+from repro.workload.generator import (
+    ReaderWorkload,
+    WriterWorkload,
+    ZipfPagePicker,
+    drive,
+)
+from repro.workload.scenarios import Deployment, build_tree, conference_deployment
+
+__all__ = [
+    "Deployment",
+    "ReaderWorkload",
+    "WriterWorkload",
+    "ZipfPagePicker",
+    "build_tree",
+    "conference_deployment",
+    "drive",
+]

@@ -1,0 +1,150 @@
+"""Client workload generators.
+
+Workloads are :class:`~repro.sim.process.Process` generators driving
+:class:`~repro.web.webobject.Browser` stubs: each operation is issued, its
+future awaited, and the next operation follows after an exponential think
+time.  All randomness comes from forked simulation RNGs (deterministic per
+seed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Generator, List, Optional, Sequence
+
+from repro.replication.client import ReplicaError
+from repro.sim.kernel import Simulator
+from repro.sim.process import Delay, Process, WaitFor
+from repro.sim.rng import SeededRng
+from repro.web.webobject import Browser
+
+
+class ZipfPagePicker:
+    """Zipf-distributed page selection over a fixed page list."""
+
+    def __init__(self, pages: Sequence[str], rng: SeededRng, skew: float = 1.0) -> None:
+        if not pages:
+            raise ValueError("pages must be non-empty")
+        self.pages = list(pages)
+        self.rng = rng
+        self.weights = SeededRng.zipf_weights(len(self.pages), skew)
+
+    def pick(self) -> str:
+        """One page, rank-0 most popular."""
+        return self.pages[self.rng.weighted_index(self.weights)]
+
+
+@dataclasses.dataclass
+class WorkloadStats:
+    """What one workload process observed."""
+
+    operations: int = 0
+    errors: int = 0
+    not_found: int = 0
+
+
+class ReaderWorkload:
+    """A browsing client: Zipf page reads with exponential think time."""
+
+    def __init__(
+        self,
+        browser: Browser,
+        pages: Sequence[str],
+        rng: SeededRng,
+        mean_think: float = 1.0,
+        operations: int = 50,
+        skew: float = 1.0,
+    ) -> None:
+        self.browser = browser
+        self.picker = ZipfPagePicker(pages, rng.fork("pages"), skew)
+        self.rng = rng
+        self.mean_think = mean_think
+        self.operations = operations
+        self.stats = WorkloadStats()
+
+    def run(self) -> Generator:
+        """Generator body for :class:`~repro.sim.process.Process`."""
+        for _ in range(self.operations):
+            yield Delay(self.rng.exponential(self.mean_think))
+            page = self.picker.pick()
+            try:
+                yield WaitFor(self.browser.read_page(page))
+            except ReplicaError:
+                self.stats.not_found += 1
+            except Exception:
+                self.stats.errors += 1
+            self.stats.operations += 1
+        return self.stats
+
+
+class WriterWorkload:
+    """A content master: periodic page updates.
+
+    ``incremental=True`` appends (the paper's conference master, needing
+    PRAM); ``False`` overwrites whole pages (the FIFO-friendly pattern).
+    ``read_back`` makes the writer read after each write, which is what
+    exercises read-your-writes.
+    """
+
+    def __init__(
+        self,
+        browser: Browser,
+        pages: Sequence[str],
+        rng: SeededRng,
+        interval: float = 2.0,
+        operations: int = 20,
+        incremental: bool = True,
+        read_back: bool = False,
+        payload_bytes: int = 256,
+    ) -> None:
+        self.browser = browser
+        self.pages = list(pages)
+        self.rng = rng
+        self.interval = interval
+        self.operations = operations
+        self.incremental = incremental
+        self.read_back = read_back
+        self.payload_bytes = payload_bytes
+        self.stats = WorkloadStats()
+
+    def _payload(self, index: int) -> str:
+        filler = "x" * max(0, self.payload_bytes - 16)
+        return f"<!--{index}-->{filler}"
+
+    def run(self) -> Generator:
+        """Generator body for :class:`~repro.sim.process.Process`."""
+        for index in range(self.operations):
+            yield Delay(self.rng.exponential(self.interval))
+            page = self.rng.choice(self.pages)
+            content = self._payload(index)
+            try:
+                if self.incremental:
+                    yield WaitFor(self.browser.append_to_page(page, content))
+                else:
+                    yield WaitFor(self.browser.write_page(page, content))
+                if self.read_back:
+                    yield WaitFor(self.browser.read_page(page))
+            except Exception:
+                self.stats.errors += 1
+            self.stats.operations += 1
+        return self.stats
+
+
+def drive(
+    sim: Simulator,
+    workloads: Sequence[object],
+    until: Optional[float] = None,
+    max_events: int = 10_000_000,
+) -> List[Process]:
+    """Spawn workload processes and run the simulation.
+
+    Each workload must expose ``run()`` returning a generator.  With no
+    deadline the simulation runs until all processes finish and the system
+    quiesces.
+    """
+    processes = [
+        Process(sim, workload.run(), name=f"workload-{index}")
+        for index, workload in enumerate(workloads)
+    ]
+    sim.run(until=until, max_events=max_events)
+    return processes

@@ -1,0 +1,150 @@
+"""Deployment builders: whole replicated-web-object systems in one call.
+
+A :class:`Deployment` bundles the simulator, network, Web object, stores
+and browsers of one experiment so harness code stays declarative.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.coherence.models import SessionGuarantee
+from repro.core.dso import Store
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.network import Network
+from repro.replication.policy import ReplicationPolicy
+from repro.sim.kernel import Simulator
+from repro.web.webobject import Browser, WebObject
+
+
+@dataclasses.dataclass
+class Deployment:
+    """One assembled system under test."""
+
+    sim: Simulator
+    network: Network
+    site: WebObject
+    server: Store
+    mirrors: List[Store]
+    caches: List[Store]
+    browsers: Dict[str, Browser]
+
+    @property
+    def engines(self) -> List[object]:
+        """All store replication engines (for traffic collection)."""
+        return [s.engine for s in [self.server, *self.mirrors, *self.caches]]
+
+    def store(self, address: str) -> Store:
+        """Find a store by address."""
+        return self.site.dso.stores[address]
+
+
+def build_tree(
+    policy: ReplicationPolicy,
+    n_mirrors: int = 0,
+    n_caches: int = 2,
+    n_readers_per_cache: int = 1,
+    pages: Optional[Dict[str, str]] = None,
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    loss_rate: float = 0.0,
+    reliable_transport: bool = True,
+    designated_writer: Optional[str] = "master",
+    master_guarantees=(SessionGuarantee.READ_YOUR_WRITES,),
+    reader_guarantees=(),
+) -> Deployment:
+    """Build the canonical Fig. 2 tree.
+
+    One permanent store (``server``); ``n_mirrors`` object-initiated
+    stores under it; ``n_caches`` client-initiated stores distributed
+    round-robin under the mirrors (or directly under the server when
+    there are no mirrors); one master client writing to the server and
+    reading from the first cache; ``n_readers_per_cache`` reader clients
+    per cache.
+    """
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=latency or ConstantLatency(0.05),
+                      loss_rate=loss_rate)
+    site = WebObject(
+        sim,
+        network,
+        policy=policy,
+        pages=pages or {"index.html": "<h1>home</h1>"},
+        designated_writer=designated_writer,
+        reliable_transport=reliable_transport,
+    )
+    server = site.create_server("server")
+    mirrors = [
+        site.create_mirror(f"mirror-{index}") for index in range(n_mirrors)
+    ]
+    caches = []
+    for index in range(n_caches):
+        parent = (
+            mirrors[index % len(mirrors)].address if mirrors else "server"
+        )
+        caches.append(site.create_cache(f"cache-{index}", parent=parent))
+    browsers: Dict[str, Browser] = {}
+    master_read = caches[0].address if caches else "server"
+    browsers["master"] = site.bind_browser(
+        "space-master",
+        "master",
+        read_store=master_read,
+        write_store="server",
+        guarantees=master_guarantees,
+    )
+    for index, cache in enumerate(caches):
+        for reader in range(n_readers_per_cache):
+            client_id = f"reader-{index}-{reader}"
+            browsers[client_id] = site.bind_browser(
+                f"space-{client_id}",
+                client_id,
+                read_store=cache.address,
+                guarantees=reader_guarantees,
+            )
+    return Deployment(
+        sim=sim,
+        network=network,
+        site=site,
+        server=server,
+        mirrors=mirrors,
+        caches=caches,
+        browsers=browsers,
+    )
+
+
+def conference_deployment(seed: int = 0,
+                          lazy_interval: float = 5.0) -> Deployment:
+    """The paper's Section 4 system, exactly (Fig. 3).
+
+    One Web server (permanent store), the master's cache and the user's
+    cache (client-initiated stores), client M writing directly to the
+    server with RYW, client U reading from its cache with no client-based
+    model, Table 2 policy values.
+    """
+    policy = ReplicationPolicy.conference_example()
+    policy.lazy_interval = lazy_interval
+    pages = {
+        "index.html": "<h1>ICDCS'98</h1>",
+        "program.html": "<h2>Technical Program</h2>",
+        "registration.html": "<h2>Registration</h2>",
+        "authors.html": "<h2>Author Guidelines</h2>",
+        "hotel.html": "<h2>Accommodations</h2>",
+    }
+    deployment = build_tree(
+        policy=policy,
+        n_mirrors=0,
+        n_caches=2,
+        n_readers_per_cache=0,
+        pages=pages,
+        seed=seed,
+        designated_writer="master",
+    )
+    site = deployment.site
+    deployment.browsers["user"] = site.bind_browser(
+        "space-user",
+        "user",
+        read_store="cache-1",
+        guarantees=(),
+    )
+    return deployment

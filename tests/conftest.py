@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    """A constant-latency (10 ms) network on the fixture simulator."""
+    return Network(sim, latency=ConstantLatency(0.01))
+
+
+def resolve(sim: Simulator, future, horizon: float = 120.0):
+    """Run the simulation until a future resolves; return its value."""
+    sim.run_until_idle()
+    if not future.done:
+        sim.run(until=sim.now + horizon)
+    assert future.done, "future did not resolve within the horizon"
+    return future.result()
+
+
+def settle(sim: Simulator, future, max_events: int = 100_000):
+    """Step the simulation one event at a time until the future resolves.
+
+    Unlike :func:`resolve`, this does not drain the queue, so pending
+    timers (e.g. a lazy flush scheduled later) stay pending -- essential
+    when a test asserts on the state *between* a write and its push.
+    """
+    steps = 0
+    while not future.done:
+        if not sim.step():
+            break
+        steps += 1
+        assert steps < max_events, "future did not resolve"
+    assert future.done, "future did not resolve before the queue drained"
+    return future.result()

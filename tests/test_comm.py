@@ -1,0 +1,155 @@
+"""Unit tests for messages, invocation marshalling and comm objects."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.comm.endpoint import CommunicationObject, RequestTimeout
+from repro.comm.invocation import (
+    InvocationCodecError,
+    MarshalledInvocation,
+    decode_invocation,
+    encode_invocation,
+)
+from repro.comm.message import ENVELOPE_OVERHEAD, Message, estimate_size
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+
+class TestEstimateSize:
+    def test_primitives(self):
+        assert estimate_size(None) == 1
+        assert estimate_size(True) == 1
+        assert estimate_size(3) == 8
+        assert estimate_size(3.5) == 8
+        assert estimate_size("abcd") == 4
+        assert estimate_size(b"abc") == 3
+
+    def test_containers_sum_elements(self):
+        assert estimate_size(["aa", "bb"]) == 2 + 2 + 2 + 2
+        assert estimate_size({"k": "vv"}) == 1 + 2 + 2
+
+    def test_unicode_counts_bytes(self):
+        assert estimate_size("é") == 2
+
+
+class TestMessage:
+    def test_ids_unique(self):
+        assert Message("a").msg_id != Message("a").msg_id
+
+    def test_reply_correlates(self):
+        request = Message("read", {"page": "x"})
+        response = request.reply("read_reply", {"result": 1})
+        assert response.reply_to == request.msg_id
+
+    def test_payload_size_includes_envelope(self):
+        message = Message("k", {"a": "bb"})
+        assert message.payload_size() > ENVELOPE_OVERHEAD
+
+
+class TestInvocationCodec:
+    def test_roundtrip(self):
+        encoded = encode_invocation("write_page", "index", "content",
+                                    read_only=False, content_type="text/html")
+        decoded = decode_invocation(encoded)
+        assert decoded.method == "write_page"
+        assert decoded.args == ("index", "content")
+        assert decoded.kwargs_dict() == {"content_type": "text/html"}
+        assert decoded.read_only is False
+
+    def test_defaults(self):
+        decoded = decode_invocation({"method": "read_page"})
+        assert decoded.args == ()
+        assert decoded.read_only is True
+
+    def test_missing_method_rejected(self):
+        with pytest.raises(InvocationCodecError):
+            decode_invocation({"args": []})
+
+    def test_empty_method_rejected(self):
+        with pytest.raises(InvocationCodecError):
+            decode_invocation({"method": ""})
+
+    @given(
+        st.text(min_size=1, max_size=20).filter(str.strip),
+        st.lists(st.one_of(st.integers(), st.text(max_size=10)), max_size=4),
+        st.booleans(),
+    )
+    def test_roundtrip_property(self, method, args, read_only):
+        encoded = encode_invocation(method, *args, read_only=read_only)
+        decoded = decode_invocation(encoded)
+        assert decoded.method == method
+        assert list(decoded.args) == args
+        assert decoded.read_only == read_only
+
+
+class TestCommunicationObject:
+    def build(self, reliable=True, loss_rate=0.0, seed=1):
+        sim = Simulator(seed=seed)
+        net = Network(sim, latency=ConstantLatency(0.01), loss_rate=loss_rate)
+        a = CommunicationObject(sim, net, "a", reliable=reliable)
+        b = CommunicationObject(sim, net, "b", reliable=reliable)
+        return sim, net, a, b
+
+    def test_send_reaches_handler(self):
+        sim, _, a, b = self.build()
+        received = []
+        b.set_handler(lambda src, msg: received.append((src, msg.kind)))
+        a.send("b", Message("ping"))
+        sim.run_until_idle()
+        assert received == [("a", "ping")]
+
+    def test_request_reply_roundtrip(self):
+        sim, _, a, b = self.build()
+
+        def answer(src, msg):
+            b.reply(src, msg.reply("pong", {"n": msg.body["n"] + 1}))
+
+        b.set_handler(answer)
+        future = a.request("b", Message("ping", {"n": 1}))
+        sim.run_until_idle()
+        assert future.result().body["n"] == 2
+
+    def test_request_timeout_without_reply(self):
+        sim, _, a, b = self.build()
+        b.set_handler(lambda src, msg: None)  # never replies
+        future = a.request("b", Message("ping"), timeout=0.5)
+        sim.run_until_idle()
+        with pytest.raises(RequestTimeout):
+            future.result()
+
+    def test_request_retries_over_lossy_link(self):
+        sim, _, a, b = self.build(reliable=False, loss_rate=0.4, seed=7)
+
+        def answer(src, msg):
+            b.reply(src, msg.reply("pong"))
+
+        b.set_handler(answer)
+        future = a.request("b", Message("ping"), timeout=0.3, retries=30)
+        sim.run_until_idle()
+        assert future.result().kind == "pong"
+
+    def test_close_fails_pending_requests(self):
+        sim, _, a, b = self.build()
+        b.set_handler(lambda src, msg: None)
+        future = a.request("b", Message("ping"), timeout=10.0)
+        a.close()
+        with pytest.raises(RequestTimeout):
+            future.result()
+
+    def test_traffic_counters(self):
+        sim, _, a, b = self.build()
+        b.set_handler(lambda src, msg: None)
+        a.send("b", Message("one"))
+        a.send("b", Message("two"))
+        sim.run_until_idle()
+        assert a.messages_sent == 2
+        assert a.bytes_sent > 2 * ENVELOPE_OVERHEAD
+
+    def test_multicast_excludes_self(self):
+        sim, net, a, b = self.build()
+        received = []
+        b.set_handler(lambda src, msg: received.append(msg.kind))
+        a.multicast(["a", "b"], Message("m"))
+        sim.run_until_idle()
+        assert received == ["m"]

@@ -1,0 +1,147 @@
+"""Tests for the local-object composition, stub marshalling and records."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coherence.records import WriteRecord
+from repro.coherence.vector_clock import VectorClock
+from repro.comm.invocation import MarshalledInvocation
+from repro.core.ids import WriteId, fresh_object_id
+from repro.core.interfaces import Role, STORE_LAYERS
+from repro.core.local_object import LocalObject
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.replication.engine import StoreReplicationObject
+from repro.replication.policy import ReplicationPolicy
+from repro.sim.kernel import Simulator
+from repro.web.document import WebDocument
+
+
+class TestRoles:
+    def test_store_layers_order(self):
+        assert STORE_LAYERS == (
+            Role.PERMANENT, Role.OBJECT_INITIATED, Role.CLIENT_INITIATED)
+
+    def test_client_is_not_a_store(self):
+        assert not Role.CLIENT.is_store
+        assert Role.PERMANENT.is_store
+
+
+class TestObjectIds:
+    def test_fresh_ids_unique(self):
+        assert fresh_object_id() != fresh_object_id()
+
+    def test_prefix_respected(self):
+        assert fresh_object_id("web").startswith("web-")
+
+
+class TestLocalObject:
+    def test_store_requires_semantics(self):
+        sim = Simulator()
+        net = Network(sim)
+        with pytest.raises(ValueError):
+            LocalObject(
+                sim, net, "s", Role.PERMANENT,
+                StoreReplicationObject(ReplicationPolicy(), Role.PERMANENT),
+                semantics=None,
+            )
+
+    def test_composition_wires_control(self):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01))
+        engine = StoreReplicationObject(ReplicationPolicy(), Role.PERMANENT)
+        local = LocalObject(sim, net, "server", Role.PERMANENT, engine,
+                            semantics=WebDocument(pages={"p": "x"}))
+        assert engine.control is local.control
+        assert local.control.address == "server"
+        assert local.control.role is Role.PERMANENT
+        assert net.is_registered("server")
+
+    def test_destroy_unregisters(self):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01))
+        engine = StoreReplicationObject(ReplicationPolicy(), Role.PERMANENT)
+        local = LocalObject(sim, net, "server", Role.PERMANENT, engine,
+                            semantics=WebDocument())
+        local.destroy()
+        assert not net.is_registered("server")
+
+    def test_local_invocation_served_in_place(self):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01))
+        engine = StoreReplicationObject(ReplicationPolicy(), Role.PERMANENT)
+        local = LocalObject(sim, net, "server", Role.PERMANENT, engine,
+                            semantics=WebDocument(pages={"p": "x"}))
+        future = local.control.invoke(
+            MarshalledInvocation("read_page", ("p",)))
+        sim.run_until_idle()
+        assert future.result()["content"] == "x"
+
+    def test_local_write_applies_and_versions(self):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01))
+        engine = StoreReplicationObject(ReplicationPolicy(), Role.PERMANENT)
+        local = LocalObject(sim, net, "server", Role.PERMANENT, engine,
+                            semantics=WebDocument())
+        future = local.control.invoke(
+            MarshalledInvocation("write_page", ("p", "body"),
+                                 read_only=False),
+            session={"client_id": "admin"},
+        )
+        sim.run_until_idle()
+        assert engine.version() == {"admin": 1}
+
+
+class TestWriteRecordWire:
+    def test_roundtrip(self):
+        record = WriteRecord(
+            wid=WriteId("m", 3),
+            invocation=MarshalledInvocation("write_page", ("p", "c"),
+                                            (("content_type", "t"),), False),
+            touched=("p",),
+            deps=VectorClock({"u": 2}),
+            global_seq=9,
+            timestamp=1.5,
+            origin="server",
+        )
+        restored = WriteRecord.from_wire(record.to_wire())
+        assert restored.wid == record.wid
+        assert restored.invocation == record.invocation
+        assert restored.touched == record.touched
+        assert restored.deps == record.deps
+        assert restored.global_seq == 9
+        assert restored.timestamp == 1.5
+        assert restored.origin == "server"
+
+    def test_none_deps_roundtrip(self):
+        record = WriteRecord(
+            wid=WriteId("m", 1),
+            invocation=MarshalledInvocation("delete_page", ("p",),
+                                            read_only=False),
+        )
+        assert WriteRecord.from_wire(record.to_wire()).deps is None
+
+    def test_newer_than_lww_order(self):
+        older = WriteRecord(wid=WriteId("a", 1), timestamp=1.0,
+                            invocation=MarshalledInvocation("m"))
+        newer = WriteRecord(wid=WriteId("b", 1), timestamp=2.0,
+                            invocation=MarshalledInvocation("m"))
+        assert newer.newer_than(older)
+        assert not older.newer_than(newer)
+
+    @given(st.text(min_size=1, max_size=10), st.integers(1, 1000),
+           st.floats(0, 1e6),
+           st.dictionaries(st.text(min_size=1, max_size=5),
+                           st.integers(1, 50), max_size=3))
+    def test_roundtrip_property(self, client, seqno, ts, deps):
+        record = WriteRecord(
+            wid=WriteId(client, seqno),
+            invocation=MarshalledInvocation("append_to_page", ("p", "x"),
+                                            read_only=False),
+            deps=VectorClock(deps),
+            timestamp=ts,
+        )
+        restored = WriteRecord.from_wire(record.to_wire())
+        assert restored.wid == record.wid
+        assert restored.deps == record.deps
+        assert restored.timestamp == ts

@@ -1,0 +1,192 @@
+"""Integration tests for the store replication engine: write/read paths,
+single-writer enforcement, forwarding, duplicates."""
+
+import pytest
+
+from repro.coherence.models import SessionGuarantee
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.replication.client import ReplicaError
+from repro.replication.policy import ReplicationPolicy, WriteSet
+from repro.sim.kernel import Simulator
+from repro.web.webobject import WebObject
+
+from tests.conftest import resolve
+
+
+def build(policy=None, seed=1, pages=None, writer="master", **kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=ConstantLatency(0.02))
+    site = WebObject(sim, net, policy=policy,
+                     pages=pages or {"index.html": "seed"},
+                     designated_writer=writer, **kwargs)
+    return sim, net, site
+
+
+def test_write_then_read_at_server():
+    sim, _, site = build()
+    site.create_server("server")
+    client = site.bind_browser("c-space", "master", read_store="server")
+    wid = resolve(sim, client.write_page("index.html", "new"))
+    assert wid.seqno == 1
+    page = resolve(sim, client.read_page("index.html"))
+    assert page["content"] == "new"
+
+
+def test_read_missing_page_is_replica_error():
+    sim, _, site = build()
+    site.create_server("server")
+    client = site.bind_browser("c-space", "u", read_store="server")
+    future = client.read_page("ghost.html")
+    sim.run_until_idle()
+    with pytest.raises(ReplicaError):
+        future.result()
+
+
+def test_cache_miss_fetches_from_parent():
+    sim, _, site = build()
+    site.create_server("server")
+    cache = site.create_cache("cache")
+    client = site.bind_browser("c-space", "u", read_store="cache")
+    page = resolve(sim, client.read_page("index.html"))
+    assert page["content"] == "seed"
+    assert cache.engine.counters["tx:demand"] == 1
+    # Second read is a cache hit: no further demand.
+    resolve(sim, client.read_page("index.html"))
+    assert cache.engine.counters["tx:demand"] == 1
+
+
+def test_missing_page_via_cache_reports_not_found():
+    sim, _, site = build()
+    site.create_server("server")
+    site.create_cache("cache")
+    client = site.bind_browser("c-space", "u", read_store="cache")
+    future = client.read_page("ghost.html")
+    sim.run_until_idle()
+    with pytest.raises(ReplicaError):
+        future.result()
+
+
+def test_single_writer_enforced():
+    sim, _, site = build(writer="master")
+    site.create_server("server")
+    master = site.bind_browser("m-space", "master", read_store="server")
+    intruder = site.bind_browser("i-space", "intruder", read_store="server")
+    resolve(sim, master.write_page("index.html", "ok"))
+    future = intruder.write_page("index.html", "hijack")
+    sim.run_until_idle()
+    with pytest.raises(ReplicaError, match="designated"):
+        future.result()
+
+
+def test_multiple_write_set_allows_all():
+    sim, _, site = build(
+        policy=ReplicationPolicy(write_set=WriteSet.MULTIPLE), writer=None)
+    site.create_server("server")
+    for index in range(3):
+        browser = site.bind_browser(f"s{index}", f"w{index}",
+                                    read_store="server")
+        resolve(sim, browser.write_page("index.html", f"rev {index}"))
+    assert site.dso.stores["server"].version() == {
+        "w0": 1, "w1": 1, "w2": 1}
+
+
+def test_first_writer_locks_single_write_set():
+    sim, _, site = build(writer=None)  # single write set, no designation
+    site.create_server("server")
+    first = site.bind_browser("a", "first", read_store="server")
+    second = site.bind_browser("b", "second", read_store="server")
+    resolve(sim, first.write_page("index.html", "mine"))
+    future = second.write_page("index.html", "theirs")
+    sim.run_until_idle()
+    with pytest.raises(ReplicaError):
+        future.result()
+
+
+def test_write_via_cache_forwards_to_primary():
+    sim, _, site = build()
+    site.create_server("server")
+    cache = site.create_cache("cache")
+    master = site.bind_browser("m-space", "master",
+                               read_store="cache", write_store="cache")
+    wid = resolve(sim, master.write_page("index.html", "through-cache"))
+    assert wid.seqno == 1
+    # The write landed at the primary, not just the cache.
+    assert site.dso.stores["server"].version() == {"master": 1}
+    assert site.dso.stores["server"].state()["index.html"]["content"] == \
+        "through-cache"
+
+
+def test_duplicate_write_request_acked_idempotently():
+    sim, _, site = build()
+    site.create_server("server")
+    server = site.dso.stores["server"].engine
+    master = site.bind_browser("m-space", "master", read_store="server")
+    resolve(sim, master.write_page("index.html", "v1"))
+    version_before = site.dso.stores["server"].state()["index.html"]["version"]
+    # Replay the same WiD, as a retrying client would.
+    from repro.coherence.records import WriteRecord
+    from repro.comm.invocation import MarshalledInvocation
+    from repro.comm.message import Message
+    from repro.core.ids import WriteId
+    record = WriteRecord(
+        wid=WriteId("master", 1),
+        invocation=MarshalledInvocation("write_page", ("index.html", "v1"),
+                                        read_only=False),
+    )
+    replies = []
+    master_comm = site.dso.clients[0].local.comm
+    future = master_comm.request(
+        "server", Message("write", {"record": record.to_wire(), "session": {}}))
+    sim.run_until_idle()
+    assert future.result().kind == "write_ack"
+    version_after = site.dso.stores["server"].state()["index.html"]["version"]
+    assert version_after == version_before, "duplicate must not re-apply"
+
+
+def test_session_vector_advances_on_ack():
+    sim, _, site = build()
+    site.create_server("server")
+    master = site.bind_browser(
+        "m-space", "master", read_store="server",
+        guarantees=[SessionGuarantee.READ_YOUR_WRITES])
+    resolve(sim, master.write_page("index.html", "x"))
+    resolve(sim, master.append_to_page("index.html", "y"))
+    assert master.session.write_vc.get("master") == 2
+    assert master.session.last_write_store == "server"
+
+
+def test_store_layers_view():
+    sim, _, site = build()
+    site.create_server("server")
+    site.create_mirror("mirror")
+    site.create_cache("cache", parent="mirror")
+    sim.run_until_idle()
+    from repro.core.interfaces import Role
+    layers = site.dso.layers()
+    assert layers[Role.PERMANENT] == ["server"]
+    assert layers[Role.OBJECT_INITIATED] == ["mirror"]
+    assert layers[Role.CLIENT_INITIATED] == ["cache"]
+
+
+def test_bind_to_unknown_store_rejected():
+    from repro.core.dso import BindError
+    sim, _, site = build()
+    site.create_server("server")
+    with pytest.raises(BindError):
+        site.bind_browser("x", "u", read_store="nonexistent")
+
+
+def test_bind_before_permanent_store_rejected():
+    from repro.core.dso import BindError
+    sim, _, site = build()
+    with pytest.raises(BindError):
+        site.bind_browser("x", "u")
+
+
+def test_duplicate_store_address_rejected():
+    from repro.core.dso import BindError
+    sim, _, site = build()
+    site.create_server("server")
+    with pytest.raises(BindError):
+        site.create_cache("server")

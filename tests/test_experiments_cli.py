@@ -1,0 +1,27 @@
+"""Tests for the experiment-runner CLI module."""
+
+from repro.experiments.__main__ import RUNNERS, main
+
+
+def test_all_experiment_ids_registered():
+    assert set(RUNNERS) == {
+        "t1", "t2", "f1", "f2", "f3", "f4",
+        "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8",
+    }
+
+
+def test_selected_experiment_runs(capsys):
+    assert main(["t1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Consistency propagation" in out
+
+
+def test_unknown_id_rejected(capsys):
+    assert main(["nope"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown experiment ids" in out
+
+
+def test_case_insensitive(capsys):
+    assert main(["T1"]) == 0

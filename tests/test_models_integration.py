@@ -1,0 +1,177 @@
+"""End-to-end integration tests: each object-based coherence model run on a
+real deployment and verified by its trace checker."""
+
+import pytest
+
+from repro.coherence import checkers
+from repro.coherence.models import CoherenceModel
+from repro.net.latency import ConstantLatency, UniformLatency
+from repro.net.network import Network
+from repro.replication.policy import (
+    AccessTransfer,
+    CoherenceTransfer,
+    OutdateReaction,
+    ReplicationPolicy,
+    WriteSet,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.process import Delay, Process, WaitFor
+from repro.web.webobject import WebObject
+
+
+def build_site(policy, seed=1, jitter=False):
+    sim = Simulator(seed=seed)
+    if jitter:
+        latency = UniformLatency(0.01, 0.2, sim.rng.fork("net"))
+    else:
+        latency = ConstantLatency(0.02)
+    net = Network(sim, latency=latency)
+    site = WebObject(sim, net, policy=policy, pages={"doc": "seed"},
+                     designated_writer=None)
+    site.create_server("server")
+    site.create_cache("cache-a")
+    site.create_cache("cache-b")
+    return sim, site
+
+
+def run_writers(sim, site, writes=6, incremental=True):
+    writers = []
+    for index, cache in enumerate(("cache-a", "cache-b")):
+        browser = site.bind_browser(f"s-{index}", f"w{index}",
+                                    read_store=cache, write_store="server")
+        writers.append(browser)
+
+    def script(browser, label):
+        rng = sim.rng.fork(label)
+        for op in range(writes):
+            yield Delay(rng.uniform(0.05, 0.4))
+            if incremental:
+                yield WaitFor(browser.append_to_page("doc", f"[{label}:{op}]"))
+            else:
+                yield WaitFor(browser.write_page("doc", f"{label}:{op}"))
+
+    for index, browser in enumerate(writers):
+        Process(sim, script(browser, f"w{index}"), f"w{index}")
+    sim.run_until_idle()
+    sim.run(until=sim.now + 10.0)
+
+
+def test_pram_model_end_to_end():
+    policy = ReplicationPolicy(
+        model=CoherenceModel.PRAM, write_set=WriteSet.MULTIPLE,
+        coherence_transfer=CoherenceTransfer.PARTIAL,
+    )
+    sim, site = build_site(policy)
+    run_writers(sim, site)
+    assert checkers.check_pram(site.trace) == []
+    # Every store saw every write (updates pushed everywhere).
+    assert checkers.check_eventual_delivery(site.trace) == []
+
+
+def test_causal_model_end_to_end():
+    policy = ReplicationPolicy(
+        model=CoherenceModel.CAUSAL, write_set=WriteSet.MULTIPLE,
+        coherence_transfer=CoherenceTransfer.PARTIAL,
+    )
+    sim, site = build_site(policy)
+    # Writer B reads then writes: its writes causally follow A's.
+    a = site.bind_browser("sa", "alice", read_store="cache-a",
+                          write_store="server")
+    b = site.bind_browser("sb", "bob", read_store="cache-b",
+                          write_store="server")
+
+    def alice():
+        yield WaitFor(a.append_to_page("doc", "[question]"))
+
+    def bob():
+        while True:
+            yield Delay(0.2)
+            page = yield WaitFor(b.read_page("doc"))
+            if "question" in page["content"]:
+                break
+        yield WaitFor(b.append_to_page("doc", "[answer]"))
+
+    Process(sim, alice(), "alice")
+    Process(sim, bob(), "bob")
+    sim.run_until_idle()
+    sim.run(until=sim.now + 5.0)
+    assert checkers.check_causal(site.trace) == []
+    assert checkers.check_writes_follow_reads(site.trace) == []
+    for state in site.store_states().values():
+        if "doc" in state:
+            content = state["doc"]["content"]
+            if "answer" in content:
+                assert content.index("question") < content.index("answer")
+
+
+def test_sequential_model_global_agreement():
+    policy = ReplicationPolicy(
+        model=CoherenceModel.SEQUENTIAL, write_set=WriteSet.MULTIPLE,
+        coherence_transfer=CoherenceTransfer.PARTIAL,
+    )
+    sim, site = build_site(policy, seed=7)
+    run_writers(sim, site, writes=5)
+    assert checkers.check_sequential(site.trace) == []
+    contents = {
+        addr: state["doc"]["content"]
+        for addr, state in site.store_states().items() if "doc" in state
+    }
+    assert len(set(contents.values())) == 1, (
+        "sequential replicas must agree on one interleaving"
+    )
+
+
+def test_fifo_model_drops_superseded_overwrites():
+    policy = ReplicationPolicy(
+        model=CoherenceModel.FIFO, write_set=WriteSet.MULTIPLE,
+        coherence_transfer=CoherenceTransfer.PARTIAL,
+    )
+    sim, site = build_site(policy)
+    run_writers(sim, site, incremental=False)
+    assert checkers.check_fifo(site.trace) == []
+
+
+def test_eventual_model_converges_with_lww():
+    policy = ReplicationPolicy(
+        model=CoherenceModel.EVENTUAL, write_set=WriteSet.MULTIPLE,
+        coherence_transfer=CoherenceTransfer.PARTIAL,
+    )
+    sim, site = build_site(policy, seed=3)
+    # Writers submit at their local caches (multi-writer eventual accepts
+    # writes anywhere and gossips).
+    a = site.bind_browser("sa", "w0", read_store="cache-a",
+                          write_store="cache-a")
+    b = site.bind_browser("sb", "w1", read_store="cache-b",
+                          write_store="cache-b")
+
+    def script(browser, label):
+        rng = sim.rng.fork(label)
+        for op in range(5):
+            yield Delay(rng.uniform(0.05, 0.3))
+            yield WaitFor(browser.write_page("doc", f"{label}:{op}"))
+
+    Process(sim, script(a, "w0"), "w0")
+    Process(sim, script(b, "w1"), "w1")
+    sim.run_until_idle()
+    sim.run(until=sim.now + 10.0)
+    contents = {
+        addr: state["doc"]["content"]
+        for addr, state in site.store_states().items() if "doc" in state
+    }
+    assert len(set(contents.values())) == 1, (
+        f"LWW must converge, got {contents}"
+    )
+
+
+def test_scope_weakening_keeps_caches_eventual():
+    from repro.replication.policy import StoreScope
+    policy = ReplicationPolicy(
+        model=CoherenceModel.PRAM,
+        store_scope=StoreScope.PERMANENT,
+        coherence_transfer=CoherenceTransfer.PARTIAL,
+    )
+    sim, site = build_site(policy)
+    assert site.dso.stores["server"].engine.enforced
+    assert not site.dso.stores["cache-a"].engine.enforced
+    assert site.dso.stores["cache-a"].engine.ordering.model is \
+        CoherenceModel.EVENTUAL

@@ -1,0 +1,163 @@
+"""Unit tests for the datagram network: delivery, FIFO, loss, partitions."""
+
+import pytest
+
+from repro.net.latency import ConstantLatency, UniformLatency
+from repro.net.network import Network, NodeNotRegistered
+from repro.sim.kernel import Simulator
+
+
+def make_net(sim, latency=None, loss_rate=0.0):
+    return Network(sim, latency=latency or ConstantLatency(0.05),
+                   loss_rate=loss_rate)
+
+
+def collector(received):
+    def handler(src, payload, size):
+        received.append((src, payload, size))
+    return handler
+
+
+def test_basic_delivery_with_latency():
+    sim = Simulator()
+    net = make_net(sim)
+    received = []
+    net.register("a", collector([]))
+    net.register("b", collector(received))
+    net.send("a", "b", "hello", size_bytes=10)
+    sim.run_until_idle()
+    assert received == [("a", "hello", 10)]
+    assert sim.now == pytest.approx(0.05)
+
+
+def test_send_from_unregistered_node_rejected():
+    sim = Simulator()
+    net = make_net(sim)
+    net.register("b", collector([]))
+    with pytest.raises(NodeNotRegistered):
+        net.send("ghost", "b", "x")
+
+
+def test_send_to_unregistered_node_counted_as_dropped():
+    sim = Simulator()
+    net = make_net(sim)
+    net.register("a", collector([]))
+    net.send("a", "nobody", "x")
+    sim.run_until_idle()
+    assert net.stats.datagrams_dropped_unregistered == 1
+    assert net.stats.datagrams_delivered == 0
+
+
+def test_reliable_is_fifo_per_pair_despite_jitter():
+    sim = Simulator(seed=3)
+    # High jitter would reorder datagrams; the reliable class must not.
+    net = make_net(sim, latency=UniformLatency(0.01, 0.5, sim.rng.fork("lat")))
+    received = []
+    net.register("a", collector([]))
+    net.register("b", collector(received))
+    for index in range(20):
+        net.send("a", "b", index, reliable=True)
+    sim.run_until_idle()
+    assert [payload for _, payload, _ in received] == list(range(20))
+
+
+def test_unreliable_can_reorder():
+    sim = Simulator(seed=5)
+    net = make_net(sim, latency=UniformLatency(0.01, 0.5, sim.rng.fork("lat")))
+    received = []
+    net.register("a", collector([]))
+    net.register("b", collector(received))
+    for index in range(20):
+        net.send("a", "b", index, reliable=False)
+    sim.run_until_idle()
+    order = [payload for _, payload, _ in received]
+    assert sorted(order) == list(range(20))
+    assert order != list(range(20)), "jittered UDP should reorder"
+
+
+def test_loss_applies_only_to_unreliable():
+    sim = Simulator(seed=1)
+    net = make_net(sim, loss_rate=0.5)
+    received = []
+    net.register("a", collector([]))
+    net.register("b", collector(received))
+    for _ in range(100):
+        net.send("a", "b", "r", reliable=True)
+    for _ in range(100):
+        net.send("a", "b", "u", reliable=False)
+    sim.run_until_idle()
+    reliable = sum(1 for _, p, _ in received if p == "r")
+    unreliable = sum(1 for _, p, _ in received if p == "u")
+    assert reliable == 100
+    assert 20 < unreliable < 80
+    assert net.stats.datagrams_dropped_loss == 100 - unreliable
+
+
+def test_invalid_loss_rate_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Network(sim, loss_rate=1.0)
+
+
+def test_partition_blocks_and_heal_flushes_reliable():
+    sim = Simulator()
+    net = make_net(sim)
+    received = []
+    net.register("a", collector([]))
+    net.register("b", collector(received))
+    net.partition(["a"], ["b"])
+    net.send("a", "b", "queued", reliable=True)
+    net.send("a", "b", "lost", reliable=False)
+    sim.run_until_idle()
+    assert received == []
+    assert net.stats.datagrams_dropped_partition == 1
+    net.heal()
+    sim.run_until_idle()
+    assert [p for _, p, _ in received] == ["queued"]
+
+
+def test_partitioned_is_symmetric():
+    sim = Simulator()
+    net = make_net(sim)
+    net.register("a", collector([]))
+    net.register("b", collector([]))
+    net.partition(["a"], ["b"])
+    assert net.partitioned("a", "b")
+    assert net.partitioned("b", "a")
+    assert not net.partitioned("a", "a")
+
+
+def test_multicast_skips_sender():
+    sim = Simulator()
+    net = make_net(sim)
+    boxes = {name: [] for name in "abc"}
+    for name in "abc":
+        net.register(name, collector(boxes[name]))
+    net.multicast("a", ["a", "b", "c"], "note")
+    sim.run_until_idle()
+    assert boxes["a"] == []
+    assert len(boxes["b"]) == 1 and len(boxes["c"]) == 1
+
+
+def test_byte_accounting():
+    sim = Simulator()
+    net = make_net(sim)
+    net.register("a", collector([]))
+    net.register("b", collector([]))
+    net.send("a", "b", "x", size_bytes=100)
+    net.send("a", "b", "y", size_bytes=50)
+    sim.run_until_idle()
+    assert net.stats.bytes_sent == 150
+    assert net.stats.bytes_delivered == 150
+
+
+def test_unregister_stops_delivery():
+    sim = Simulator()
+    net = make_net(sim)
+    received = []
+    net.register("a", collector([]))
+    net.register("b", collector(received))
+    net.send("a", "b", "one")
+    net.unregister("b")
+    sim.run_until_idle()
+    assert received == []

@@ -1,0 +1,218 @@
+"""Unit tests for the ordering disciplines (one per coherence model)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coherence.models import CoherenceModel
+from repro.coherence.ordering import (
+    CausalOrdering,
+    EventualOrdering,
+    FifoOrdering,
+    PramOrdering,
+    SequentialOrdering,
+    make_ordering,
+)
+from repro.coherence.records import WriteRecord
+from repro.coherence.vector_clock import VectorClock
+from repro.comm.invocation import MarshalledInvocation
+from repro.core.ids import WriteId
+
+
+def rec(client, seqno, deps=None, global_seq=None, touched=("p",), ts=0.0):
+    return WriteRecord(
+        wid=WriteId(client, seqno),
+        invocation=MarshalledInvocation("write_page", (f"{client}-{seqno}",),
+                                        read_only=False),
+        touched=tuple(touched),
+        deps=VectorClock(deps) if deps is not None else None,
+        global_seq=global_seq,
+        timestamp=ts,
+    )
+
+
+def wids(records):
+    return [r.wid for r in records]
+
+
+class TestPramOrdering:
+    def test_in_order_applies_immediately(self):
+        ordering = PramOrdering()
+        assert wids(ordering.offer(rec("m", 1))) == [WriteId("m", 1)]
+        assert wids(ordering.offer(rec("m", 2))) == [WriteId("m", 2)]
+
+    def test_out_of_order_buffers_until_gap_fills(self):
+        ordering = PramOrdering()
+        assert ordering.offer(rec("m", 2)) == []
+        assert ordering.has_gaps()
+        released = ordering.offer(rec("m", 1))
+        assert wids(released) == [WriteId("m", 1), WriteId("m", 2)]
+        assert not ordering.has_gaps()
+
+    def test_independent_clients_do_not_block_each_other(self):
+        ordering = PramOrdering()
+        ordering.offer(rec("m", 2))  # buffered
+        assert wids(ordering.offer(rec("u", 1))) == [WriteId("u", 1)]
+
+    def test_duplicates_ignored(self):
+        ordering = PramOrdering()
+        ordering.offer(rec("m", 1))
+        assert ordering.offer(rec("m", 1)) == []
+
+    def test_buffered_duplicate_ignored(self):
+        ordering = PramOrdering()
+        ordering.offer(rec("m", 3))
+        assert ordering.offer(rec("m", 3)) == []
+        assert len(ordering.buffer) == 1
+
+    def test_install_clears_covered_buffer(self):
+        ordering = PramOrdering()
+        ordering.offer(rec("m", 2))
+        ordering.install(VectorClock({"m": 2}))
+        assert not ordering.has_gaps()
+        assert wids(ordering.offer(rec("m", 3))) == [WriteId("m", 3)]
+
+    def test_deps_gate_release(self):
+        ordering = PramOrdering()
+        # m's first write depends on u:1 (writes-follow-reads).
+        assert ordering.offer(rec("m", 1, deps={"u": 1})) == []
+        released = ordering.offer(rec("u", 1))
+        assert wids(released) == [WriteId("u", 1), WriteId("m", 1)]
+
+
+class TestFifoOrdering:
+    def test_gaps_are_skipped(self):
+        ordering = FifoOrdering()
+        assert wids(ordering.offer(rec("m", 3))) == [WriteId("m", 3)]
+        assert not ordering.has_gaps()
+
+    def test_stale_write_dropped(self):
+        ordering = FifoOrdering()
+        ordering.offer(rec("m", 3))
+        assert ordering.offer(rec("m", 1)) == []
+        assert ordering.dropped == 1
+
+    def test_newer_write_still_applies(self):
+        ordering = FifoOrdering()
+        ordering.offer(rec("m", 3))
+        assert wids(ordering.offer(rec("m", 7))) == [WriteId("m", 7)]
+
+
+class TestCausalOrdering:
+    def test_dependency_chain_across_clients(self):
+        ordering = CausalOrdering()
+        # Reply (b:1) depends on post (a:1); reply arrives first.
+        assert ordering.offer(rec("b", 1, deps={"a": 1})) == []
+        released = ordering.offer(rec("a", 1, deps={}))
+        assert wids(released) == [WriteId("a", 1), WriteId("b", 1)]
+
+    def test_own_writes_sequenced(self):
+        ordering = CausalOrdering()
+        assert ordering.offer(rec("a", 2, deps={"a": 1})) == []
+        released = ordering.offer(rec("a", 1, deps={}))
+        assert wids(released) == [WriteId("a", 1), WriteId("a", 2)]
+
+
+class TestSequentialOrdering:
+    def test_global_order_enforced(self):
+        ordering = SequentialOrdering()
+        assert ordering.offer(rec("b", 1, global_seq=2)) == []
+        released = ordering.offer(rec("a", 1, global_seq=1))
+        assert [r.global_seq for r in released] == [1, 2]
+
+    def test_install_resets_next_global(self):
+        ordering = SequentialOrdering()
+        ordering.install(VectorClock({"a": 5}), next_global=6)
+        assert wids(ordering.offer(rec("b", 1, global_seq=6))) == [WriteId("b", 1)]
+
+
+class TestEventualOrdering:
+    def test_applies_anything_new(self):
+        ordering = EventualOrdering()
+        assert wids(ordering.offer(rec("m", 5))) == [WriteId("m", 5)]
+        assert wids(ordering.offer(rec("m", 1, touched=("q",)))) == [WriteId("m", 1)]
+
+    def test_lww_drops_older_write_to_same_key(self):
+        ordering = EventualOrdering(lww=True)
+        ordering.offer(rec("a", 1, ts=5.0))
+        assert ordering.offer(rec("b", 1, ts=2.0)) == []
+        assert ordering.dropped == 1
+
+    def test_lww_tiebreak_on_wid(self):
+        ordering = EventualOrdering(lww=True)
+        ordering.offer(rec("b", 1, ts=5.0))
+        # Same timestamp, smaller client id: loses the tiebreak.
+        assert ordering.offer(rec("a", 1, ts=5.0)) == []
+
+    def test_without_lww_everything_applies(self):
+        ordering = EventualOrdering(lww=False)
+        ordering.offer(rec("a", 1, ts=5.0))
+        assert wids(ordering.offer(rec("b", 1, ts=2.0))) == [WriteId("b", 1)]
+
+    def test_different_keys_unaffected_by_lww(self):
+        ordering = EventualOrdering(lww=True)
+        ordering.offer(rec("a", 1, ts=5.0, touched=("p",)))
+        assert wids(ordering.offer(rec("b", 1, ts=2.0, touched=("q",)))) == \
+            [WriteId("b", 1)]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("model,cls", [
+        (CoherenceModel.PRAM, PramOrdering),
+        (CoherenceModel.FIFO, FifoOrdering),
+        (CoherenceModel.CAUSAL, CausalOrdering),
+        (CoherenceModel.SEQUENTIAL, SequentialOrdering),
+        (CoherenceModel.EVENTUAL, EventualOrdering),
+    ])
+    def test_factory_maps_models(self, model, cls):
+        assert isinstance(make_ordering(model), cls)
+
+
+@given(st.permutations(list(range(1, 9))))
+def test_pram_applies_any_permutation_in_order(permutation):
+    """Property: whatever the arrival order, PRAM applies 1..n in order."""
+    ordering = PramOrdering()
+    applied = []
+    for seqno in permutation:
+        applied.extend(wids(ordering.offer(rec("m", seqno))))
+    assert applied == [WriteId("m", n) for n in range(1, 9)]
+    assert not ordering.has_gaps()
+
+
+@given(st.permutations(list(range(1, 8))), st.permutations(list(range(1, 8))))
+def test_pram_two_clients_interleaved(perm_a, perm_b):
+    """Property: per-client order holds under any interleaving."""
+    ordering = PramOrdering()
+    applied = []
+    for sa, sb in zip(perm_a, perm_b):
+        applied.extend(wids(ordering.offer(rec("a", sa))))
+        applied.extend(wids(ordering.offer(rec("b", sb))))
+    for client in ("a", "b"):
+        seqs = [w.seqno for w in applied if w.client_id == client]
+        assert seqs == sorted(seqs)
+        assert seqs == list(range(1, len(seqs) + 1))
+
+
+@given(st.permutations(list(range(1, 10))))
+def test_sequential_applies_global_order(permutation):
+    """Property: sequential releases exactly ascending global sequence."""
+    ordering = SequentialOrdering()
+    applied = []
+    for n in permutation:
+        applied.extend(
+            r.global_seq for r in ordering.offer(rec("c", n, global_seq=n))
+        )
+    assert applied == list(range(1, 10))
+
+
+@given(st.lists(st.tuples(st.sampled_from("ab"), st.integers(1, 6),
+                          st.floats(0, 10)), max_size=24))
+def test_eventual_lww_never_regresses(entries):
+    """Property: under LWW the applied stamp for a key never decreases."""
+    ordering = EventualOrdering(lww=True)
+    best = None
+    for client, seqno, ts in entries:
+        for record in ordering.offer(rec(client, seqno, ts=ts)):
+            stamp = (record.timestamp, record.wid)
+            if best is not None:
+                assert stamp > best
+            best = stamp

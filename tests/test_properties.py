@@ -1,0 +1,101 @@
+"""System-level property tests: random workloads under each model keep the
+model's invariants, checked by the trace checkers."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.coherence import checkers
+from repro.coherence.models import CoherenceModel
+from repro.net.latency import UniformLatency
+from repro.net.network import Network
+from repro.replication.policy import (
+    CoherenceTransfer,
+    ReplicationPolicy,
+    WriteSet,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.process import Delay, Process, WaitFor
+from repro.web.webobject import WebObject
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["w0", "w1"]),        # which writer
+        st.sampled_from(["p1", "p2"]),        # which page
+        st.floats(0.02, 0.4),                 # think time
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def run_random_workload(model, op_list, seed):
+    sim = Simulator(seed=seed)
+    latency = UniformLatency(0.01, 0.15, sim.rng.fork("net"))
+    net = Network(sim, latency=latency)
+    policy = ReplicationPolicy(
+        model=model,
+        write_set=WriteSet.MULTIPLE,
+        coherence_transfer=CoherenceTransfer.PARTIAL,
+    )
+    site = WebObject(sim, net, policy=policy,
+                     pages={"p1": "a", "p2": "b"}, designated_writer=None)
+    site.create_server("server")
+    site.create_cache("cache-0")
+    site.create_cache("cache-1")
+    writers = {
+        "w0": site.bind_browser("s0", "w0", read_store="cache-0",
+                                write_store="server"),
+        "w1": site.bind_browser("s1", "w1", read_store="cache-1",
+                                write_store="server"),
+    }
+
+    def script(writer_id):
+        for index, (who, page, think) in enumerate(op_list):
+            if who != writer_id:
+                continue
+            yield Delay(think)
+            yield WaitFor(
+                writers[writer_id].append_to_page(page, f"[{writer_id}:{index}]")
+            )
+
+    Process(sim, script("w0"), "w0")
+    Process(sim, script("w1"), "w1")
+    sim.run_until_idle()
+    sim.run(until=sim.now + 15.0)
+    return site
+
+
+@SLOW
+@given(ops, st.integers(0, 10_000))
+def test_pram_invariant_under_random_workloads(op_list, seed):
+    site = run_random_workload(CoherenceModel.PRAM, op_list, seed)
+    assert checkers.check_pram(site.trace) == []
+    assert checkers.check_eventual_delivery(site.trace) == []
+
+
+@SLOW
+@given(ops, st.integers(0, 10_000))
+def test_sequential_invariant_under_random_workloads(op_list, seed):
+    site = run_random_workload(CoherenceModel.SEQUENTIAL, op_list, seed)
+    assert checkers.check_sequential(site.trace) == []
+    # Sequential implies PRAM.
+    assert checkers.check_pram(site.trace) == []
+
+
+@SLOW
+@given(ops, st.integers(0, 10_000))
+def test_fifo_invariant_under_random_workloads(op_list, seed):
+    site = run_random_workload(CoherenceModel.FIFO, op_list, seed)
+    assert checkers.check_fifo(site.trace) == []
+
+
+@SLOW
+@given(ops, st.integers(0, 10_000))
+def test_eventual_delivery_under_random_workloads(op_list, seed):
+    site = run_random_workload(CoherenceModel.EVENTUAL, op_list, seed)
+    assert checkers.check_eventual_delivery(site.trace) == []

@@ -1,0 +1,168 @@
+"""End-to-end tests for the four client-based coherence models, enforced
+against a lazily-propagating object (where they actually bite)."""
+
+import pytest
+
+from repro.coherence import checkers
+from repro.coherence.models import CoherenceModel, SessionGuarantee
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.replication.policy import (
+    CoherenceTransfer,
+    OutdateReaction,
+    ReplicationPolicy,
+    TransferInstant,
+    WriteSet,
+)
+from repro.sim.kernel import Simulator
+from repro.web.webobject import WebObject
+
+from tests.conftest import resolve, settle
+
+RYW = SessionGuarantee.READ_YOUR_WRITES
+MR = SessionGuarantee.MONOTONIC_READS
+MW = SessionGuarantee.MONOTONIC_WRITES
+WFR = SessionGuarantee.WRITES_FOLLOW_READS
+
+
+def lazy_site(seed=1, interval=10.0, model=CoherenceModel.PRAM,
+              write_set=WriteSet.SINGLE, writer="master"):
+    """A site whose pushes are so lazy that stale reads are guaranteed
+    unless a session guarantee forces freshness."""
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=ConstantLatency(0.02))
+    policy = ReplicationPolicy(
+        model=model,
+        write_set=write_set,
+        transfer_instant=TransferInstant.LAZY,
+        lazy_interval=interval,
+        coherence_transfer=CoherenceTransfer.PARTIAL,
+        client_outdate_reaction=OutdateReaction.DEMAND,
+    )
+    site = WebObject(sim, net, policy=policy, pages={"p": "seed"},
+                     designated_writer=writer)
+    site.create_server("server")
+    site.create_cache("cache-a")
+    site.create_cache("cache-b")
+    return sim, site
+
+
+class TestReadYourWrites:
+    def test_enforced_master_sees_own_writes_through_stale_cache(self):
+        sim, site = lazy_site()
+        master = site.bind_browser("m", "master", read_store="cache-a",
+                                   write_store="server", guarantees=[RYW])
+        settle(sim, master.write_page("p", "mine"))
+        page = settle(sim, master.read_page("p"))
+        assert page["content"] == "mine"
+        assert checkers.check_read_your_writes(site.trace) == []
+        # The freshness came from a demand-update, not from a push.
+        assert site.dso.stores["cache-a"].engine.counters["tx:demand"] >= 1
+
+    def test_unenforced_master_reads_stale(self):
+        sim, site = lazy_site()
+        master = site.bind_browser("m", "master", read_store="cache-a",
+                                   write_store="server", guarantees=[])
+        # Warm the cache so the read is a hit on stale content.
+        settle(sim, master.read_page("p"))
+        settle(sim, master.write_page("p", "mine"))
+        page = settle(sim, master.read_page("p"))
+        assert page["content"] == "seed", "without RYW the stale copy serves"
+        assert checkers.check_read_your_writes(site.trace)
+
+
+class TestMonotonicReads:
+    def test_roaming_client_never_regresses(self):
+        sim, site = lazy_site()
+        master = site.bind_browser("m", "master", read_store="server",
+                                   write_store="server")
+        roamer_a = site.bind_browser("ra", "roamer", read_store="cache-a",
+                                     guarantees=[MR])
+        roamer_b = site.bind_browser("rb", "roamer", read_store="cache-b",
+                                     guarantees=[MR])
+        roamer_s = site.bind_browser("rs", "roamer", read_store="server",
+                                     guarantees=[MR])
+        shared = roamer_a.bound.replication.session
+        roamer_b.bound.replication.session = shared
+        roamer_s.bound.replication.session = shared
+        settle(sim, master.write_page("p", "v1"))
+        # cache-a demand-fetches on miss, so the roamer sees v1 there.
+        assert settle(sim, roamer_a.read_page("p"))["content"] == "v1"
+        settle(sim, master.write_page("p", "v2"))
+        # Reading at the server advances the session to v2 ...
+        assert settle(sim, roamer_s.read_page("p"))["content"] == "v2"
+        # ... so the stale cache-b must catch up before serving (it was
+        # never pushed to; without MR it would happily serve v1/seed).
+        assert settle(sim, roamer_b.read_page("p"))["content"] == "v2"
+        assert checkers.check_monotonic_reads(site.trace,
+                                              clients=["roamer"]) == []
+        assert site.dso.stores["cache-b"].engine.counters["tx:demand"] >= 1
+
+
+class TestMonotonicWrites:
+    def test_mw_deps_order_writes_under_eventual(self):
+        # Eventual coherence would happily apply a client's writes out of
+        # order after loss/reorder; the MW dependency vector forbids it.
+        sim, site = lazy_site(model=CoherenceModel.EVENTUAL,
+                              write_set=WriteSet.MULTIPLE, writer=None)
+        writer = site.bind_browser("w", "author", read_store="cache-a",
+                                   write_store="cache-a", guarantees=[MW])
+        for index in range(4):
+            resolve(sim, writer.append_to_page("p", f"+{index}"))
+        sim.run(until=sim.now + 25.0)
+        assert checkers.check_monotonic_writes(
+            site.trace, clients=["author"]) == []
+
+
+class TestWritesFollowReads:
+    def test_reaction_ordered_after_trigger_everywhere(self):
+        sim, site = lazy_site(model=CoherenceModel.EVENTUAL,
+                              write_set=WriteSet.MULTIPLE, writer=None,
+                              interval=3.0)
+        poster = site.bind_browser("pa", "poster", read_store="cache-a",
+                                   write_store="cache-a")
+        reactor = site.bind_browser("rb", "reactor", read_store="cache-b",
+                                    write_store="cache-b",
+                                    guarantees=[WFR, MW])
+        resolve(sim, poster.append_to_page("p", "[trigger]"))
+        sim.run(until=sim.now + 10.0)
+        page = resolve(sim, reactor.read_page("p"))
+        assert "trigger" in page["content"]
+        resolve(sim, reactor.append_to_page("p", "[reaction]"))
+        sim.run(until=sim.now + 20.0)
+        assert checkers.check_writes_follow_reads(
+            site.trace, clients=["reactor"]) == []
+        for state in site.dso.store_states().values():
+            content = state.get("p", {}).get("content", "")
+            if "reaction" in content:
+                assert content.index("trigger") < content.index("reaction")
+
+
+class TestCombination:
+    def test_paper_combination_pram_plus_ryw(self):
+        """The exact combination of Section 4: object PRAM + client RYW."""
+        sim, site = lazy_site()
+        master = site.bind_browser("m", "master", read_store="cache-a",
+                                   write_store="server", guarantees=[RYW])
+        user = site.bind_browser("u", "user", read_store="cache-b")
+        for index in range(5):
+            settle(sim, master.append_to_page("p", f"+{index}"))
+            page = settle(sim, master.read_page("p"))
+            assert f"+{index}" in page["content"]
+        sim.run(until=sim.now + 25.0)
+        resolve(sim, user.read_page("p"))
+        assert checkers.check_pram(site.trace) == []
+        assert checkers.check_read_your_writes(site.trace,
+                                               clients=["master"]) == []
+
+    def test_guarantees_free_under_sequential(self):
+        """Sequential subsumes all session guarantees: requirement checks
+        pass without extra demand traffic."""
+        sim, site = lazy_site(model=CoherenceModel.SEQUENTIAL,
+                              interval=0.5)
+        master = site.bind_browser("m", "master", read_store="server",
+                                   write_store="server",
+                                   guarantees=list(SessionGuarantee))
+        resolve(sim, master.write_page("p", "v1"))
+        page = resolve(sim, master.read_page("p"))
+        assert page["content"] == "v1"

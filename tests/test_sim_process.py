@@ -1,0 +1,186 @@
+"""Unit tests for generator-based processes and futures."""
+
+import pytest
+
+from repro.sim.errors import SimulationError
+from repro.sim.future import Future, FutureCancelled
+from repro.sim.kernel import Simulator
+from repro.sim.process import Delay, Process, ProcessKilled, WaitFor
+
+
+def test_delay_suspends_for_virtual_time():
+    sim = Simulator()
+    times = []
+
+    def body():
+        times.append(sim.now)
+        yield Delay(2.0)
+        times.append(sim.now)
+        yield Delay(3.0)
+        times.append(sim.now)
+
+    Process(sim, body())
+    sim.run_until_idle()
+    assert times == [0.0, 2.0, 5.0]
+
+
+def test_wait_for_receives_future_value():
+    sim = Simulator()
+    future = Future()
+    got = []
+
+    def body():
+        value = yield WaitFor(future)
+        got.append(value)
+
+    Process(sim, body())
+    sim.schedule(1.0, future.set_result, "payload")
+    sim.run_until_idle()
+    assert got == ["payload"]
+
+
+def test_bare_future_yield_is_waitfor_shorthand():
+    sim = Simulator()
+    future = Future()
+    got = []
+
+    def body():
+        got.append((yield future))
+
+    Process(sim, body())
+    sim.schedule(0.5, future.set_result, 7)
+    sim.run_until_idle()
+    assert got == [7]
+
+
+def test_future_error_raises_inside_generator():
+    sim = Simulator()
+    future = Future()
+    caught = []
+
+    def body():
+        try:
+            yield WaitFor(future)
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    Process(sim, body())
+    sim.schedule(0.5, future.set_error, ValueError("boom"))
+    sim.run_until_idle()
+    assert caught == ["boom"]
+
+
+def test_process_return_value_resolves_done_future():
+    sim = Simulator()
+
+    def body():
+        yield Delay(1.0)
+        return "result"
+
+    process = Process(sim, body())
+    sim.run_until_idle()
+    assert process.done.result() == "result"
+    assert not process.alive
+
+
+def test_kill_interrupts_process():
+    sim = Simulator()
+    progress = []
+
+    def body():
+        progress.append("started")
+        yield Delay(10.0)
+        progress.append("never")
+
+    process = Process(sim, body())
+    sim.run(until=1.0)
+    process.kill()
+    sim.run_until_idle()
+    assert progress == ["started"]
+    assert not process.alive
+    with pytest.raises(ProcessKilled):
+        process.done.result()
+
+
+def test_unsupported_yield_value_errors_the_process():
+    sim = Simulator()
+    caught = []
+
+    def body():
+        try:
+            yield 42
+        except SimulationError:
+            caught.append("caught")
+            raise
+
+    process = Process(sim, body())
+    sim.run_until_idle()
+    assert caught == ["caught"]
+    with pytest.raises(SimulationError):
+        process.done.result()
+
+
+def test_uncaught_exception_surfaces_via_done_future():
+    sim = Simulator()
+
+    def body():
+        yield Delay(1.0)
+        raise RuntimeError("workload bug")
+
+    process = Process(sim, body())
+    sim.run_until_idle()
+    with pytest.raises(RuntimeError, match="workload bug"):
+        process.done.result()
+
+
+def test_already_resolved_future_resumes_immediately():
+    sim = Simulator()
+    future = Future()
+    future.set_result("ready")
+    got = []
+
+    def body():
+        got.append((yield WaitFor(future)))
+
+    Process(sim, body())
+    sim.run_until_idle()
+    assert got == ["ready"]
+
+
+class TestFuture:
+    def test_double_resolve_rejected(self):
+        future = Future()
+        future.set_result(1)
+        with pytest.raises(SimulationError):
+            future.set_result(2)
+
+    def test_result_before_resolution_rejected(self):
+        with pytest.raises(SimulationError):
+            Future().result()
+
+    def test_cancel_pending_future(self):
+        future = Future()
+        future.cancel()
+        with pytest.raises(FutureCancelled):
+            future.result()
+
+    def test_cancel_resolved_future_is_noop(self):
+        future = Future()
+        future.set_result("kept")
+        future.cancel()
+        assert future.result() == "kept"
+
+    def test_callbacks_run_in_registration_order(self):
+        future = Future()
+        order = []
+        future.add_callback(lambda f: order.append(1))
+        future.add_callback(lambda f: order.append(2))
+        future.set_result(None)
+        assert order == [1, 2]
+
+    def test_callback_after_resolution_runs_immediately(self):
+        future = Future()
+        future.set_result("x")
+        seen = []
+        future.add_callback(lambda f: seen.append(f.result()))
+        assert seen == ["x"]
