@@ -4,15 +4,38 @@ Every benchmark regenerates one paper table/figure (or one quantitative
 extension) exactly once per round, prints the regenerated rows -- "the same
 rows/series the paper reports" -- and asserts the qualitative shape that
 EXPERIMENTS.md records.
+
+Sweep-shaped benchmarks go through :func:`run_sweep_once`, which fans the
+sweep's points out over a ``repro.exec`` worker pool (one worker per CPU
+by default; override with ``REPRO_BENCH_PARALLEL``, e.g. ``=1`` to time
+the serial path).  Results are bit-identical at any parallelism, so the
+assertions are unaffected -- only the wall clock moves.
 """
 
 from __future__ import annotations
+
+import os
+
+
+def bench_parallelism() -> int:
+    """Worker-pool size for sweep benchmarks (0 is one per CPU)."""
+    try:
+        parallel = int(os.environ.get("REPRO_BENCH_PARALLEL") or 0)
+    except ValueError:
+        parallel = 0
+    return parallel if parallel > 0 else max(1, os.cpu_count() or 1)
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+def run_sweep_once(benchmark, fn, *args, **kwargs):
+    """Run a sweep-shaped experiment once, fanned out over the pool."""
+    kwargs.setdefault("parallel", bench_parallelism())
+    return run_once(benchmark, fn, *args, **kwargs)
 
 
 def emit(result) -> None:

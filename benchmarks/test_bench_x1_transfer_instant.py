@@ -1,12 +1,12 @@
 """X1: transfer instant -- immediate vs lazy aggregated updates for a hot,
 frequently-written object (Section 3.3's aggregation argument)."""
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_sweep_once
 from repro.experiments.sweeps import run_transfer_instant
 
 
 def test_bench_x1_transfer_instant(benchmark):
-    result = run_once(benchmark, run_transfer_instant, seed=0, writes=40,
+    result = run_sweep_once(benchmark, run_transfer_instant, seed=0, writes=40,
                       n_caches=8, lazy_intervals=(1.0, 5.0, 20.0))
     emit(result)
     measured = result.data["measured"]

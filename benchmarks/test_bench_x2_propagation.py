@@ -1,12 +1,12 @@
 """X2: consistency propagation -- update vs invalidate across read/write
 ratios (the crossover the paper argues for in Section 3.3)."""
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_sweep_once
 from repro.experiments.sweeps import run_propagation
 
 
 def test_bench_x2_propagation(benchmark):
-    result = run_once(benchmark, run_propagation, seed=0, writes=30,
+    result = run_sweep_once(benchmark, run_propagation, seed=0, writes=30,
                       read_ratios=(0.2, 1.0, 5.0), n_caches=4)
     emit(result)
     measured = result.data["measured"]

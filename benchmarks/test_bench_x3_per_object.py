@@ -1,12 +1,12 @@
 """X3: per-object strategies vs one global strategy -- the paper's headline
 claim (Section 1), measured against the classical proxy-caching baselines."""
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_sweep_once
 from repro.experiments.per_object import run_per_object
 
 
 def test_bench_x3_per_object(benchmark):
-    result = run_once(benchmark, run_per_object, seed=0)
+    result = run_sweep_once(benchmark, run_per_object, seed=0)
     emit(result)
     measured = result.data["measured"]
     fw_origin, fw_stale, fw_latency = measured["per-object (framework)"]

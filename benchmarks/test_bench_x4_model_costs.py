@@ -1,12 +1,12 @@
 """X4: the coherence-model cost ladder (Section 3.2.1's strength ordering,
 priced in messages, bytes and latency)."""
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_sweep_once
 from repro.experiments.model_costs import MODEL_ORDER, run_model_costs
 
 
 def test_bench_x4_model_costs(benchmark):
-    result = run_once(benchmark, run_model_costs, seed=0)
+    result = run_sweep_once(benchmark, run_model_costs, seed=0)
     emit(result)
     measured = result.data["measured"]
     # Strong models pay a forwarding round trip per write; eventual

@@ -1,12 +1,12 @@
 """X5: reliability as a side effect of the coherence model (Section 4.2's
 end-to-end argument): UDP + demand reaction matches TCP; UDP + wait stalls."""
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_sweep_once
 from repro.experiments.endtoend import run_endtoend
 
 
 def test_bench_x5_endtoend(benchmark):
-    result = run_once(benchmark, run_endtoend, seed=0, loss_rate=0.15,
+    result = run_sweep_once(benchmark, run_endtoend, seed=0, loss_rate=0.15,
                       writes=15, horizon=60.0)
     emit(result)
     measured = result.data["measured"]

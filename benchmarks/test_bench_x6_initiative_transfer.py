@@ -1,12 +1,12 @@
 """X6: transfer initiative (push vs pull) and transfer types (partial vs
 full) -- the remaining Table-1 axes, measured."""
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_sweep_once
 from repro.experiments.sweeps import run_initiative_and_transfer
 
 
 def test_bench_x6_initiative_transfer(benchmark):
-    result = run_once(benchmark, run_initiative_and_transfer, seed=0,
+    result = run_sweep_once(benchmark, run_initiative_and_transfer, seed=0,
                       writes=20, n_caches=4)
     emit(result)
     measured = result.data["measured"]

@@ -1,12 +1,12 @@
 """X7: what enforcing session guarantees costs (demand traffic, latency)
 and buys (zero violations) -- design decision D2 ablated."""
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_sweep_once
 from repro.experiments.sessions import run_sessions
 
 
 def test_bench_x7_sessions(benchmark):
-    result = run_once(benchmark, run_sessions, seed=0, updates=8)
+    result = run_sweep_once(benchmark, run_sessions, seed=0, updates=8)
     emit(result)
     measured = result.data["measured"]
     off = measured["off (check only)"]

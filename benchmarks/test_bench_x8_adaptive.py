@@ -1,12 +1,12 @@
 """X8: self-adaptive policies -- the paper's §5 future work, implemented
 and ablated against the static policy it would replace."""
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import emit, run_sweep_once
 from repro.experiments.adaptive import run_adaptive
 
 
 def test_bench_x8_adaptive(benchmark):
-    result = run_once(benchmark, run_adaptive, seed=0, edits=20, reads=10,
+    result = run_sweep_once(benchmark, run_adaptive, seed=0, edits=20, reads=10,
                       n_caches=4)
     emit(result)
     measured = result.data["measured"]

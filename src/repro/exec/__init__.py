@@ -1,0 +1,50 @@
+"""Parallel sweep execution with deterministic fan-out and caching.
+
+The experiments layer describes a sweep as a :class:`SweepSpec` -- a
+list of independent points plus a pure ``run_point(config, seed)``
+function -- and :func:`run_sweep` executes it: serially, over a
+``multiprocessing`` pool, or out of the on-disk :class:`ResultCache`.
+Seeds derive from a stable hash of each point's config
+(:func:`derive_seed`), so all three paths produce bit-identical results.
+
+Typical use::
+
+    from repro.exec import SweepSpec, run_sweep
+
+    def my_point(config, seed):          # module-level, pure, picklable
+        return simulate(n=config["n"], seed=seed)
+
+    spec = SweepSpec(name="my-sweep", run_point=my_point)
+    for n in (1, 2, 4, 8):
+        spec.add(f"n={n}", n=n)
+    measured = run_sweep(spec, parallel=4, cache_dir=".sweep-cache")
+"""
+
+from repro.exec.cache import ResultCache, code_fingerprint
+from repro.exec.cli import (
+    add_exec_arguments,
+    exec_kwargs,
+    supported_exec_kwargs,
+)
+from repro.exec.runner import (
+    SweepPointError,
+    default_parallelism,
+    run_sweep,
+)
+from repro.exec.seeding import config_hash, derive_seed
+from repro.exec.spec import SweepPoint, SweepSpec
+
+__all__ = [
+    "ResultCache",
+    "SweepPoint",
+    "SweepPointError",
+    "SweepSpec",
+    "add_exec_arguments",
+    "code_fingerprint",
+    "config_hash",
+    "default_parallelism",
+    "derive_seed",
+    "exec_kwargs",
+    "run_sweep",
+    "supported_exec_kwargs",
+]

@@ -1,0 +1,132 @@
+"""On-disk result cache for sweep points.
+
+Finished point results are pickled under
+``<root>/<code fingerprint>/<spec>/<key>.pkl`` where the key hashes the
+point's config and the sweep's base seed, and the fingerprint hashes the
+``repro`` package sources.  Any code change therefore invalidates the
+whole cache (stale results can never be served), while re-runs and
+re-renders of an unchanged sweep are near-instant.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import inspect
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Tuple
+
+from repro.exec.seeding import config_blob
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every ``.py`` source in the ``repro`` package.
+
+    Computed once per process; cheap relative to any simulation run.
+    """
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def function_fingerprint(fn: Callable) -> str:
+    """Hash of a point function's identity and source.
+
+    Point functions may live outside the ``repro`` package (a user's
+    sweep script), where :func:`code_fingerprint` can't see edits; this
+    folds the function's own source into the cache key so stale results
+    are never served for those either.
+    """
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError):
+        source = ""
+    identity = (
+        f"{getattr(fn, '__module__', '')}."
+        f"{getattr(fn, '__qualname__', repr(fn))}"
+    )
+    digest = hashlib.sha256(
+        identity.encode("utf-8") + b"\x00" + source.encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
+
+
+class ResultCache:
+    """Pickle-per-point cache keyed by config hash + code version."""
+
+    def __init__(self, root: os.PathLike, fingerprint: Optional[str] = None):
+        self.root = Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, spec_name: str, base_seed: int,
+              config: Mapping[str, Any], fn_key: str = "",
+              point_seed: int = 0) -> Path:
+        # point_seed is in the key because two seeding modes (paired vs
+        # per-point) can assign the same (name, base_seed, config)
+        # different seeds; their results must never alias.
+        key = hashlib.sha256(
+            b"\x00".join([
+                spec_name.encode("utf-8"),
+                str(int(base_seed)).encode("ascii"),
+                config_blob(config),
+                fn_key.encode("ascii"),
+                str(int(point_seed)).encode("ascii"),
+            ])
+        ).hexdigest()
+        safe_name = "".join(
+            ch if ch.isalnum() or ch in "-_." else "_" for ch in spec_name
+        )
+        return self.root / self.fingerprint / safe_name / f"{key}.pkl"
+
+    def get(self, spec_name: str, base_seed: int,
+            config: Mapping[str, Any], fn_key: str = "",
+            point_seed: int = 0) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` otherwise.
+
+        A corrupt or unreadable entry counts as a miss and is recomputed.
+        """
+        path = self._path(spec_name, base_seed, config, fn_key, point_seed)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, spec_name: str, base_seed: int,
+            config: Mapping[str, Any], value: Any,
+            fn_key: str = "", point_seed: int = 0) -> None:
+        """Store one finished point result (atomic rename)."""
+        path = self._path(spec_name, base_seed, config, fn_key, point_seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1

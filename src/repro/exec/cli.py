@@ -1,0 +1,60 @@
+"""Command-line glue for sweep execution.
+
+Adds the standard execution flags to an ``argparse`` parser and turns
+the parsed namespace back into the ``parallel=...``/``cache_dir=...``
+keyword arguments that runner-aware experiment entry points accept.
+Entry points that predate the runner (single-run tables and figures)
+simply don't take the keywords; :func:`supported_exec_kwargs` filters
+them out so one dispatcher can drive both kinds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+from typing import Any, Callable, Dict
+
+
+def _worker_count(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "must be >= 0 (0 means one worker per CPU)"
+        )
+    return value
+
+
+def add_exec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install ``--parallel`` and ``--cache-dir`` on ``parser``."""
+    parser.add_argument(
+        "--parallel", type=_worker_count, default=1, metavar="N",
+        help="worker-pool size for sweep points "
+             "(1 = serial, 0 = one per CPU; results are identical)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="cache finished sweep points here, keyed by config hash "
+             "+ code version; re-runs are near-instant",
+    )
+
+
+def exec_kwargs(namespace: argparse.Namespace) -> Dict[str, Any]:
+    """The execution keywords encoded in a parsed namespace."""
+    return {
+        "parallel": namespace.parallel,
+        "cache_dir": namespace.cache_dir,
+    }
+
+
+def supported_exec_kwargs(fn: Callable,
+                          kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """The subset of ``kwargs`` that ``fn``'s signature accepts."""
+    parameters = inspect.signature(fn).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD
+           for p in parameters.values()):
+        return dict(kwargs)
+    return {key: value for key, value in kwargs.items()
+            if key in parameters}

@@ -1,0 +1,146 @@
+"""Sweep execution: deterministic fan-out over a worker pool, with cache.
+
+``run_sweep(spec, parallel=N)`` evaluates every point of a
+:class:`~repro.exec.spec.SweepSpec` and returns an ordered
+``{label: result}`` mapping.  Because each point's seed is derived from
+its config (:mod:`repro.exec.seeding`) and ``run_point`` is pure, the
+results are bit-identical whether the points run serially, on ``N``
+workers, or straight out of the on-disk cache.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import traceback
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.exec.cache import ResultCache, function_fingerprint
+from repro.exec.spec import SweepSpec
+
+
+class SweepPointError(RuntimeError):
+    """One sweep point failed; carries the failing point's identity."""
+
+    def __init__(self, spec_name: str, label: Hashable,
+                 config: Dict[str, Any], detail: str):
+        self.spec_name = spec_name
+        self.label = label
+        self.config = config
+        self.detail = detail
+        super().__init__(
+            f"sweep {spec_name!r} point {label!r} failed "
+            f"(config={config!r}):\n{detail}"
+        )
+
+
+def _execute_task(task: Tuple[Any, int, Dict[str, Any], int]
+                  ) -> Tuple[int, bool, Any]:
+    """Evaluate one point; never raises (failures are data).
+
+    Raising inside a pool worker would surface in the parent stripped of
+    the point's identity, so failures travel back as
+    ``(index, False, traceback text)``.
+    """
+    run_point, index, config, seed = task
+    try:
+        return index, True, run_point(config, seed)
+    except Exception:
+        # KeyboardInterrupt/SystemExit propagate: a user interrupt must
+        # abort the sweep, not masquerade as a failed point.
+        return index, False, traceback.format_exc()
+
+
+def default_parallelism() -> int:
+    """Worker count used when the caller asks for ``parallel=0``."""
+    return max(1, os.cpu_count() or 1)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    parallel: int = 1,
+    cache_dir: Optional[os.PathLike] = None,
+    cache: Optional[ResultCache] = None,
+) -> Dict[Hashable, Any]:
+    """Evaluate every point of ``spec``; return ``{label: result}``.
+
+    ``parallel`` is the worker-pool size (``1`` = in-process serial,
+    ``0`` = one worker per CPU).  ``cache_dir`` (or a prebuilt ``cache``)
+    enables the on-disk result cache; cached points are not recomputed.
+    Results come back in point-declaration order regardless of which
+    worker finished first.
+    """
+    if parallel == 0:
+        parallel = default_parallelism()
+    if parallel < 1:
+        raise ValueError(f"parallel must be >= 0, got {parallel!r}")
+    labels = spec.labels()
+    if len(set(labels)) != len(labels):
+        raise ValueError(
+            f"sweep {spec.name!r} has duplicate point labels; results "
+            "would silently collapse"
+        )
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+    # The point function's own source is part of the cache key, so specs
+    # defined outside the repro package still invalidate on edit.
+    fn_key = function_fingerprint(spec.run_point) if cache else ""
+
+    results: Dict[int, Any] = {}
+    pending: List[int] = []
+    for index, point in enumerate(spec.points):
+        if cache is not None:
+            hit, value = cache.get(spec.name, spec.base_seed, point.config,
+                                   fn_key, point_seed=spec.seed_for(point))
+            if hit:
+                results[index] = value
+                continue
+        pending.append(index)
+
+    tasks = [
+        (spec.run_point, index, spec.points[index].config,
+         spec.seed_for(spec.points[index]))
+        for index in pending
+    ]
+    for index, ok, payload in _run_tasks(tasks, parallel):
+        if not ok:
+            point = spec.points[index]
+            raise SweepPointError(spec.name, point.label, point.config,
+                                  payload)
+        results[index] = payload
+        if cache is not None:
+            point = spec.points[index]
+            cache.put(spec.name, spec.base_seed, point.config, payload,
+                      fn_key, point_seed=spec.seed_for(point))
+
+    return {
+        point.label: results[index]
+        for index, point in enumerate(spec.points)
+    }
+
+
+def _run_tasks(tasks: List[Tuple[Any, int, Dict[str, Any], int]],
+               parallel: int) -> List[Tuple[int, bool, Any]]:
+    """Run tasks serially or on a pool; order of returns is irrelevant."""
+    workers = min(parallel, len(tasks))
+    if workers > 1:
+        try:
+            context = _pool_context()
+            with context.Pool(processes=workers) as pool:
+                return pool.map(_execute_task, tasks)
+        except OSError as exc:
+            # Sandboxes without process-spawn rights still get correct
+            # (just serial) results; determinism makes them identical.
+            # stderr, so rendered tables stay byte-identical regardless.
+            print(f"repro.exec: worker pool unavailable ({exc}); "
+                  "falling back to serial execution", file=sys.stderr)
+    return [_execute_task(task) for task in tasks]
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the imported package) where offered."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()

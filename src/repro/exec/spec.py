@@ -1,0 +1,77 @@
+"""Declarative sweep descriptions: what to run, not how.
+
+A :class:`SweepSpec` names a sweep, lists its :class:`SweepPoint`\\ s and
+carries the pure ``run_point(config, seed)`` function that evaluates one
+point.  The runner (:mod:`repro.exec.runner`) decides execution order,
+parallelism and caching; the spec stays a plain description, so the same
+spec can run serially, on a worker pool, or straight out of the cache.
+
+``run_point`` must be a module-level function (workers import it by
+reference) and must return a picklable value built only from the config
+and the seed -- no ambient state -- so that parallel execution is
+bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Hashable, List
+
+from repro.exec.seeding import config_blob, derive_seed
+
+#: Evaluates one sweep point: ``run_point(config, seed) -> result``.
+PointFunction = Callable[[Dict[str, Any], int], Any]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One point in a sweep: a display label plus its config."""
+
+    label: Hashable
+    config: Dict[str, Any]
+
+    def __post_init__(self) -> None:
+        # Fail at declaration time, not inside a worker process.
+        config_blob(self.config)
+
+
+@dataclasses.dataclass
+class SweepSpec:
+    """A named set of independent points sharing one point function.
+
+    ``paired=True`` gives every point the *same* derived seed, so
+    variants run against identical workload realizations -- the right
+    design when the sweep compares policies on one workload (a paired
+    comparison) rather than sampling independent replications.
+    """
+
+    name: str
+    run_point: PointFunction
+    points: List[SweepPoint] = dataclasses.field(default_factory=list)
+    base_seed: int = 0
+    paired: bool = False
+
+    def add(self, label: Hashable, **config: Any) -> "SweepPoint":
+        """Declare one point and return it."""
+        if any(point.label == label for point in self.points):
+            raise ValueError(
+                f"duplicate point label {label!r} in sweep {self.name!r}"
+            )
+        point = SweepPoint(label=label, config=config)
+        self.points.append(point)
+        return point
+
+    def seed_for(self, point: SweepPoint) -> int:
+        """The deterministic seed this spec assigns ``point``.
+
+        A stable hash either way: of the point's config (independent
+        replications) or, when ``paired``, of the spec name alone
+        (one shared workload realization for every point).
+        """
+        if self.paired:
+            return derive_seed(self.name, {}, base_seed=self.base_seed)
+        return derive_seed(self.name, point.config, base_seed=self.base_seed)
+
+    def labels(self) -> List[Hashable]:
+        """Point labels in declaration order."""
+        return [point.label for point in self.points]

@@ -2,17 +2,25 @@
 
 Usage::
 
-    python -m repro.experiments            # everything
-    python -m repro.experiments t1 f3 x5   # a selection
+    python -m repro.experiments                     # everything, serial
+    python -m repro.experiments t1 f3 x5            # a selection
+    python -m repro.experiments x1 --parallel 4     # fan sweep points out
+    python -m repro.experiments --parallel 0 --cache-dir .sweep-cache
 
 Experiment ids match DESIGN.md section 4 (t1 t2 f1 f2 f3 f4 x1..x8).
+Sweep-shaped experiments accept ``--parallel`` (worker-pool size; 0 means
+one worker per CPU) and ``--cache-dir`` (on-disk result cache keyed by
+config hash + code version).  Results are bit-identical at any
+parallelism; single-run tables and figures ignore the flags.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, List
 
+from repro.exec import add_exec_arguments, exec_kwargs, supported_exec_kwargs
 from repro.experiments.adaptive import run_adaptive
 from repro.experiments.conference import run_conference, run_fig4_wid_flow
 from repro.experiments.endtoend import run_endtoend
@@ -45,15 +53,31 @@ RUNNERS: Dict[str, Callable] = {
 }
 
 
-def main(argv: list) -> int:
-    requested = [arg.lower() for arg in argv] or list(RUNNERS)
-    unknown = [r for r in requested if r not in RUNNERS]
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate paper tables, figures and experiments.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", metavar="ID",
+        help=f"experiment ids to run (default: all of {', '.join(RUNNERS)})",
+    )
+    add_exec_arguments(parser)
+    return parser
+
+
+def main(argv: List[str]) -> int:
+    args = build_parser().parse_args(argv)
+    requested = [exp.lower() for exp in args.experiments] or list(RUNNERS)
+    unknown = [exp for exp in requested if exp not in RUNNERS]
     if unknown:
         print(f"unknown experiment ids: {', '.join(unknown)}")
         print(f"available: {', '.join(RUNNERS)}")
         return 2
+    options = exec_kwargs(args)
     for exp_id in requested:
-        result = RUNNERS[exp_id]()
+        runner = RUNNERS[exp_id]
+        result = runner(**supported_exec_kwargs(runner, options))
         print(result.render())
         print()
     return 0

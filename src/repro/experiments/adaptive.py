@@ -10,8 +10,9 @@ mix shifts.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional, Tuple
+from typing import Any, Dict, Generator, Optional, Tuple
 
+from repro.exec import SweepSpec, run_sweep
 from repro.experiments.harness import ExperimentResult, measure
 from repro.replication.adaptive import AdaptiveConfig, AdaptivePolicyController
 from repro.replication.policy import (
@@ -84,8 +85,18 @@ def _run(seed: int, adaptive: bool, edits: int, reads: int,
     return deployment, events
 
 
+def run_x8_point(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One X8 point: the two-phase workload, static or adaptive."""
+    deployment, events = _run(
+        seed, config["adaptive"], config["edits"], config["reads"],
+        config["n_caches"],
+    )
+    return {"metrics": measure(deployment), "events": events or []}
+
+
 def run_adaptive(seed: int = 0, edits: int = 20, reads: int = 10,
-                 n_caches: int = 4) -> ExperimentResult:
+                 n_caches: int = 4, parallel: int = 1,
+                 cache_dir: Optional[str] = None) -> ExperimentResult:
     """X8: static policy vs the self-adaptive controller."""
     result = ExperimentResult(
         name="X8: Self-adaptive policies (paper §5 future work)",
@@ -93,19 +104,22 @@ def run_adaptive(seed: int = 0, edits: int = 20, reads: int = 10,
                  "stale read fraction", "mean read latency (s)",
                  "adaptations"],
     )
-    measured: Dict[str, object] = {}
+    spec = SweepSpec(name="x8-adaptive", run_point=run_x8_point,
+                     base_seed=seed, paired=True)
     for label, adaptive in (("static (update/immediate)", False),
                             ("adaptive", True)):
-        deployment, events = _run(seed, adaptive, edits, reads, n_caches)
-        metrics = measure(deployment)
-        measured[label] = {"metrics": metrics, "events": events or []}
+        spec.add(label, adaptive=adaptive, edits=edits, reads=reads,
+                 n_caches=n_caches)
+    measured = run_sweep(spec, parallel=parallel, cache_dir=cache_dir)
+    for label, point in measured.items():
+        metrics = point["metrics"]
         result.add_row(
             label,
             metrics.traffic.bytes_sent,
             metrics.traffic.coherence_messages,
             f"{metrics.stale_fraction:.3f}",
             f"{metrics.mean_read_latency:.4f}",
-            len(events) if events else 0,
+            len(point["events"]),
         )
     result.data["measured"] = measured
     adaptations = measured["adaptive"]["events"]

@@ -20,9 +20,10 @@ recovery traffic.
 
 from __future__ import annotations
 
-from typing import Dict, Generator
+from typing import Any, Dict, Generator, Optional
 
 from repro.coherence import checkers
+from repro.exec import SweepSpec, run_sweep
 from repro.experiments.harness import ExperimentResult, measure
 from repro.replication.policy import (
     AccessTransfer,
@@ -122,11 +123,25 @@ def _run_variant(
     }
 
 
+def run_x5_point(config: Dict[str, Any], seed: int) -> Dict[str, object]:
+    """One X5 point: one (transport, outdate-reaction) variant."""
+    return _run_variant(
+        seed=seed,
+        reliable=config["reliable"],
+        reaction=OutdateReaction(config["reaction"]),
+        loss_rate=config["loss_rate"],
+        writes=config["writes"],
+        horizon=config["horizon"],
+    )
+
+
 def run_endtoend(
     seed: int = 0,
     loss_rate: float = 0.15,
     writes: int = 15,
     horizon: float = 60.0,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """X5: TCP/wait vs UDP/wait vs UDP/demand."""
     result = ExperimentResult(
@@ -141,13 +156,13 @@ def run_endtoend(
         ("UDP + wait", False, OutdateReaction.WAIT),
         ("UDP + demand", False, OutdateReaction.DEMAND),
     ]
-    measured = {}
+    spec = SweepSpec(name="x5-endtoend", run_point=run_x5_point,
+                     base_seed=seed, paired=True)
     for label, reliable, reaction in variants:
-        run = _run_variant(
-            seed=seed, reliable=reliable, reaction=reaction,
-            loss_rate=loss_rate, writes=writes, horizon=horizon,
-        )
-        measured[label] = run
+        spec.add(label, reliable=reliable, reaction=reaction,
+                 loss_rate=loss_rate, writes=writes, horizon=horizon)
+    measured = run_sweep(spec, parallel=parallel, cache_dir=cache_dir)
+    for label, run in measured.items():
         result.add_row(
             label,
             run["server_version"],

@@ -21,12 +21,13 @@ no caching.  Metrics: origin load, staleness, read latency.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Generator, List, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.baselines.browser import HttpBrowser
 from repro.baselines.origin import HttpOrigin
 from repro.baselines.proxy import CacheMode, HttpProxy
 from repro.coherence.models import CoherenceModel, SessionGuarantee
+from repro.exec import SweepSpec, run_sweep
 from repro.experiments.harness import ExperimentResult, mean
 from repro.metrics.staleness import staleness_summary
 from repro.net.latency import ConstantLatency
@@ -258,7 +259,17 @@ def _baseline_run(seed: int, mode: CacheMode, ttl: float = 8.0
     return origin_messages, stale_fraction, mean(latencies)
 
 
-def run_per_object(seed: int = 0) -> ExperimentResult:
+def run_x3_point(config: Dict[str, object], seed: int
+                 ) -> Tuple[float, float, float]:
+    """One X3 point: the framework or one global caching baseline."""
+    if config["strategy"] == "framework":
+        return _framework_run(seed)
+    return _baseline_run(seed, CacheMode(config["mode"]),
+                         ttl=config["ttl"])
+
+
+def run_per_object(seed: int = 0, parallel: int = 1,
+                   cache_dir: Optional[str] = None) -> ExperimentResult:
     """X3: compare per-object policies against each global strategy."""
     result = ExperimentResult(
         name="X3: Per-object strategies vs a single global strategy",
@@ -267,18 +278,17 @@ def run_per_object(seed: int = 0) -> ExperimentResult:
             "mean read latency (s)",
         ],
     )
-    measured: Dict[str, Tuple[float, float, float]] = {}
-    fw = _framework_run(seed)
-    measured["per-object (framework)"] = fw
-    result.add_row("per-object (framework)", int(fw[0]), f"{fw[1]:.3f}",
-                   f"{fw[2]:.4f}")
+    spec = SweepSpec(name="x3-per-object", run_point=run_x3_point,
+                     base_seed=seed, paired=True)
+    spec.add("per-object (framework)", strategy="framework")
     for label, mode in (
         ("global validation", CacheMode.VALIDATE),
         ("global TTL (8s)", CacheMode.TTL),
         ("no caching", CacheMode.NONE),
     ):
-        run = _baseline_run(seed, mode)
-        measured[label] = run
+        spec.add(label, strategy="baseline", mode=mode, ttl=8.0)
+    measured = run_sweep(spec, parallel=parallel, cache_dir=cache_dir)
+    for label, run in measured.items():
         result.add_row(label, int(run[0]), f"{run[1]:.3f}", f"{run[2]:.4f}")
     result.data["measured"] = measured
     result.note(

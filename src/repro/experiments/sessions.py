@@ -10,10 +10,11 @@ extra messages and latency paid.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Iterable, Tuple
+from typing import Any, Dict, Generator, Iterable, Optional, Tuple
 
 from repro.coherence import checkers
 from repro.coherence.models import SessionGuarantee
+from repro.exec import SweepSpec, run_sweep
 from repro.experiments.harness import ExperimentResult, mean
 from repro.replication.policy import ReplicationPolicy
 from repro.sim.process import Delay, Process, WaitFor
@@ -90,7 +91,35 @@ def _run(
     return deployment, violations
 
 
-def run_sessions(seed: int = 0, updates: int = 8) -> ExperimentResult:
+def run_x7_point(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One X7 point: the roaming workload with enforcement on or off."""
+    deployment, violations = _run(
+        seed=seed,
+        guarantees=(
+            SessionGuarantee.READ_YOUR_WRITES,
+            SessionGuarantee.MONOTONIC_READS,
+        ),
+        enforce=config["enforce"],
+        updates=config["updates"],
+    )
+    demands = sum(
+        engine.counters["tx:demand"] for engine in deployment.engines
+    )
+    latencies = [
+        value
+        for browser in deployment.browsers.values()
+        for kind, value in browser.bound.replication.op_latencies
+        if kind == "read"
+    ]
+    return {
+        "violations": violations,
+        "demands": demands,
+        "read_latency": mean(latencies),
+    }
+
+
+def run_sessions(seed: int = 0, updates: int = 8, parallel: int = 1,
+                 cache_dir: Optional[str] = None) -> ExperimentResult:
     """X7: enforcement on/off for RYW (master) and MR (roaming reader)."""
     result = ExperimentResult(
         name="X7: Session-guarantee enforcement -- cost and effect",
@@ -99,41 +128,18 @@ def run_sessions(seed: int = 0, updates: int = 8) -> ExperimentResult:
             "demand-updates", "mean read latency (s)",
         ],
     )
-    guarantee_sets = {
-        "off (check only)": False,
-        "on (RYW + MR enforced)": True,
-    }
-    measured = {}
-    for label, enforce in guarantee_sets.items():
-        deployment, violations = _run(
-            seed=seed,
-            guarantees=(
-                SessionGuarantee.READ_YOUR_WRITES,
-                SessionGuarantee.MONOTONIC_READS,
-            ),
-            enforce=enforce,
-            updates=updates,
-        )
-        demands = sum(
-            engine.counters["tx:demand"] for engine in deployment.engines
-        )
-        latencies = [
-            value
-            for browser in deployment.browsers.values()
-            for kind, value in browser.bound.replication.op_latencies
-            if kind == "read"
-        ]
-        measured[label] = {
-            "violations": violations,
-            "demands": demands,
-            "read_latency": mean(latencies),
-        }
+    spec = SweepSpec(name="x7-sessions", run_point=run_x7_point,
+                     base_seed=seed, paired=True)
+    spec.add("off (check only)", enforce=False, updates=updates)
+    spec.add("on (RYW + MR enforced)", enforce=True, updates=updates)
+    measured = run_sweep(spec, parallel=parallel, cache_dir=cache_dir)
+    for label, point in measured.items():
         result.add_row(
             label,
-            violations["ryw"],
-            violations["mr"],
-            demands,
-            f"{mean(latencies):.4f}",
+            point["violations"]["ryw"],
+            point["violations"]["mr"],
+            point["demands"],
+            f"{point['read_latency']:.4f}",
         )
     result.data["measured"] = measured
     result.note(

@@ -11,14 +11,18 @@ measure it:
   ratios;
 - **X6** transfer initiative (push vs pull) and transfer types
   (partial vs full).
+
+Each sweep declares its points as a :class:`~repro.exec.SweepSpec` and a
+pure module-level point function, so :func:`repro.exec.run_sweep` can fan
+the points out over a worker pool and cache finished results.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Generator, List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.experiments.harness import ExperimentResult, measure
+from repro.exec import SweepSpec, run_sweep
+from repro.experiments.harness import ExperimentResult, RunMetrics, measure
 from repro.replication.policy import (
     AccessTransfer,
     CoherenceTransfer,
@@ -88,11 +92,38 @@ def _run_deployment(
     return deployment
 
 
+# --------------------------------------------------------------------------
+# X1: transfer instant
+# --------------------------------------------------------------------------
+
+
+def run_x1_point(config: Dict[str, Any], seed: int) -> RunMetrics:
+    """One X1 point: one transfer-instant setting, measured."""
+    interval = config["interval"]
+    policy = ReplicationPolicy(
+        transfer_instant=(
+            TransferInstant.IMMEDIATE if interval is None
+            else TransferInstant.LAZY
+        ),
+        coherence_transfer=CoherenceTransfer.PARTIAL,
+        access_transfer=AccessTransfer.PARTIAL,
+    )
+    if interval is not None:
+        policy.lazy_interval = interval
+    deployment = _run_deployment(
+        policy, seed=seed, n_caches=config["n_caches"],
+        writes=config["writes"], reads_per_client=10, incremental=False,
+    )
+    return measure(deployment)
+
+
 def run_transfer_instant(
     seed: int = 0,
     writes: int = 40,
     n_caches: int = 8,
     lazy_intervals: tuple = (1.0, 5.0, 20.0),
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """X1: immediate vs lazy update propagation for a hot object."""
     result = ExperimentResult(
@@ -102,27 +133,14 @@ def run_transfer_instant(
             "stale read fraction", "mean time lag (s)",
         ],
     )
-    variants = [("immediate", None)] + [
-        (f"lazy ({interval:g}s)", interval) for interval in lazy_intervals
-    ]
-    measured = {}
-    for label, interval in variants:
-        policy = ReplicationPolicy(
-            transfer_instant=(
-                TransferInstant.IMMEDIATE if interval is None
-                else TransferInstant.LAZY
-            ),
-            coherence_transfer=CoherenceTransfer.PARTIAL,
-            access_transfer=AccessTransfer.PARTIAL,
-        )
-        if interval is not None:
-            policy.lazy_interval = interval
-        deployment = _run_deployment(
-            policy, seed=seed, n_caches=n_caches, writes=writes,
-            reads_per_client=10, incremental=False,
-        )
-        metrics = measure(deployment)
-        measured[label] = metrics
+    spec = SweepSpec(name="x1-transfer-instant", run_point=run_x1_point,
+                     base_seed=seed, paired=True)
+    spec.add("immediate", interval=None, writes=writes, n_caches=n_caches)
+    for interval in lazy_intervals:
+        spec.add(f"lazy ({interval:g}s)", interval=interval, writes=writes,
+                 n_caches=n_caches)
+    measured = run_sweep(spec, parallel=parallel, cache_dir=cache_dir)
+    for label, metrics in measured.items():
         result.add_row(
             label,
             metrics.traffic.coherence_messages,
@@ -139,11 +157,33 @@ def run_transfer_instant(
     return result
 
 
+# --------------------------------------------------------------------------
+# X2: consistency propagation
+# --------------------------------------------------------------------------
+
+
+def run_x2_point(config: Dict[str, Any], seed: int) -> RunMetrics:
+    """One X2 point: one (read ratio, propagation) cell, measured."""
+    policy = ReplicationPolicy(
+        propagation=Propagation(config["propagation"]),
+        coherence_transfer=CoherenceTransfer.PARTIAL,
+        access_transfer=AccessTransfer.PARTIAL,
+    )
+    deployment = _run_deployment(
+        policy, seed=seed, n_caches=config["n_caches"],
+        writes=config["writes"],
+        reads_per_client=config["reads_per_client"], incremental=False,
+    )
+    return measure(deployment)
+
+
 def run_propagation(
     seed: int = 0,
     writes: int = 30,
     read_ratios: tuple = (0.2, 1.0, 5.0),
     n_caches: int = 4,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """X2: update vs invalidate across read/write ratios."""
     result = ExperimentResult(
@@ -153,28 +193,28 @@ def run_propagation(
             "coherence msgs", "mean read latency (s)",
         ],
     )
-    measured = {}
+    spec = SweepSpec(name="x2-propagation", run_point=run_x2_point,
+                     base_seed=seed, paired=True)
     for ratio in read_ratios:
         reads_per_client = max(1, int(writes * ratio / n_caches))
         for propagation in (Propagation.UPDATE, Propagation.INVALIDATE):
-            policy = ReplicationPolicy(
+            spec.add(
+                (ratio, propagation.value),
+                ratio=ratio,
                 propagation=propagation,
-                coherence_transfer=CoherenceTransfer.PARTIAL,
-                access_transfer=AccessTransfer.PARTIAL,
+                writes=writes,
+                n_caches=n_caches,
+                reads_per_client=reads_per_client,
             )
-            deployment = _run_deployment(
-                policy, seed=seed, n_caches=n_caches, writes=writes,
-                reads_per_client=reads_per_client, incremental=False,
-            )
-            metrics = measure(deployment)
-            measured[(ratio, propagation.value)] = metrics
-            result.add_row(
-                f"{ratio:g}",
-                propagation.value,
-                metrics.traffic.bytes_sent,
-                metrics.traffic.coherence_messages,
-                f"{metrics.mean_read_latency:.4f}",
-            )
+    measured = run_sweep(spec, parallel=parallel, cache_dir=cache_dir)
+    for (ratio, propagation), metrics in measured.items():
+        result.add_row(
+            f"{ratio:g}",
+            propagation,
+            metrics.traffic.bytes_sent,
+            metrics.traffic.coherence_messages,
+            f"{metrics.mean_read_latency:.4f}",
+        )
     result.data["measured"] = measured
     result.note(
         "Invalidation sends tiny invalidations and pays a refetch only on "
@@ -184,10 +224,36 @@ def run_propagation(
     return result
 
 
+# --------------------------------------------------------------------------
+# X6: transfer initiative and transfer types
+# --------------------------------------------------------------------------
+
+
+def run_x6_point(config: Dict[str, Any], seed: int) -> RunMetrics:
+    """One X6 point: one (initiative, instant, transfers) variant."""
+    initiative = TransferInitiative(config["initiative"])
+    policy = ReplicationPolicy(
+        transfer_initiative=initiative,
+        transfer_instant=TransferInstant(config["instant"]),
+        coherence_transfer=CoherenceTransfer(config["coherence"]),
+        access_transfer=AccessTransfer(config["access"]),
+        lazy_interval=2.0,
+    )
+    horizon = 60.0 if initiative is TransferInitiative.PULL else None
+    deployment = _run_deployment(
+        policy, seed=seed, n_caches=config["n_caches"],
+        writes=config["writes"], reads_per_client=10, incremental=False,
+        horizon=horizon,
+    )
+    return measure(deployment)
+
+
 def run_initiative_and_transfer(
     seed: int = 0,
     writes: int = 20,
     n_caches: int = 4,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """X6: push vs pull initiative, partial vs full transfer types."""
     result = ExperimentResult(
@@ -208,28 +274,25 @@ def run_initiative_and_transfer(
         (TransferInitiative.PULL, TransferInstant.LAZY,
          CoherenceTransfer.PARTIAL, AccessTransfer.PARTIAL),
     ]
-    measured = {}
+    spec = SweepSpec(name="x6-initiative-transfer", run_point=run_x6_point,
+                     base_seed=seed, paired=True)
     for initiative, instant, coherence, access in variants:
-        policy = ReplicationPolicy(
-            transfer_initiative=initiative,
-            transfer_instant=instant,
-            coherence_transfer=coherence,
-            access_transfer=access,
-            lazy_interval=2.0,
+        spec.add(
+            (initiative.value, instant.value, coherence.value, access.value),
+            initiative=initiative,
+            instant=instant,
+            coherence=coherence,
+            access=access,
+            writes=writes,
+            n_caches=n_caches,
         )
-        horizon = 60.0 if initiative is TransferInitiative.PULL else None
-        deployment = _run_deployment(
-            policy, seed=seed, n_caches=n_caches, writes=writes,
-            reads_per_client=10, incremental=False, horizon=horizon,
-        )
-        metrics = measure(deployment)
-        key = (initiative.value, instant.value, coherence.value, access.value)
-        measured[key] = metrics
+    measured = run_sweep(spec, parallel=parallel, cache_dir=cache_dir)
+    for (initiative, instant, coherence, access), metrics in measured.items():
         result.add_row(
-            initiative.value,
-            instant.value,
-            coherence.value,
-            access.value,
+            initiative,
+            instant,
+            coherence,
+            access,
             metrics.traffic.bytes_sent,
             metrics.traffic.coherence_messages,
             f"{metrics.stale_fraction:.3f}",

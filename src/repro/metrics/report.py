@@ -22,7 +22,10 @@ def percentile(values: Sequence[float], q: float) -> float:
     low = int(rank)
     high = min(low + 1, len(ordered) - 1)
     fraction = rank - low
-    return float(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
+    result = float(ordered[low] * (1.0 - fraction) + ordered[high] * fraction)
+    # Interpolation in floating point can land a hair outside the sample
+    # range (e.g. a*(1-f)+b*f > b for a == b); clamp to the sample bounds.
+    return min(max(result, float(ordered[0])), float(ordered[-1]))
 
 
 @dataclasses.dataclass(frozen=True)

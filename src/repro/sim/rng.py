@@ -9,6 +9,7 @@ a new consumer does not perturb the draws seen by existing ones.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from typing import List, Sequence, TypeVar
@@ -28,11 +29,16 @@ class SeededRng:
         """Create an independent child generator.
 
         The child's seed is derived from the parent seed, the fork index and
-        an optional label, so fork order plus labels fully determine every
-        stream.
+        an optional label via a stable hash, so fork order plus labels fully
+        determine every stream -- across processes and interpreter
+        invocations, not just within one (the built-in ``hash`` is
+        randomized per process and must not be used here).
         """
         self._forks += 1
-        child_seed = hash((self.seed, self._forks, label)) & 0x7FFFFFFF
+        digest = hashlib.sha256(
+            f"{self.seed}|{self._forks}|{label}".encode("utf-8")
+        ).digest()
+        child_seed = int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
         return SeededRng(child_seed)
 
     # -- thin pass-throughs -------------------------------------------------
