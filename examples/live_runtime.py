@@ -12,7 +12,6 @@ import time
 
 from repro.coherence.models import SessionGuarantee
 from repro.coherence.trace import TraceRecorder
-from repro.comm.endpoint import CommunicationObject
 from repro.core.interfaces import Role
 from repro.core.local_object import LocalObject
 from repro.replication.client import ClientReplicationObject

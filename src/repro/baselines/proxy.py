@@ -16,7 +16,7 @@ from __future__ import annotations
 import collections
 import dataclasses
 import enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.baselines import origin as http
 from repro.comm.endpoint import CommunicationObject

@@ -227,3 +227,54 @@ class TraceRecorder:
     def clear(self) -> None:
         """Forget all recorded events (counters keep advancing)."""
         self.events.clear()
+
+
+def coherence_signature(
+    trace: TraceRecorder, include_reads: bool = True
+) -> Dict[str, List[tuple]]:
+    """A time-free, per-participant normalization of a coherence history.
+
+    Returns, for every store (``"store:<addr>"``) and client
+    (``"client:<id>"``), its event sequence reduced to order-and-content
+    tuples: apply/install/drop with their WiDs and version vectors, write
+    issues/acks, and (optionally) reads with their served vectors.  Global
+    interleaving across participants and all timestamps are dropped --
+    they are substrate artifacts -- so two runs of the same scripted
+    workload on different backends (virtual vs wall-clock time) produce
+    the *same* signature exactly when the protocol made the same
+    decisions.  This is what the sim/live parity tests compare.
+    """
+    def vc(d: Dict[str, int]) -> tuple:
+        return tuple(sorted(d.items()))
+
+    signature: Dict[str, List[tuple]] = {}
+
+    def lane(kind: str, name: str) -> List[tuple]:
+        return signature.setdefault(f"{kind}:{name}", [])
+
+    for event in trace.events:
+        if isinstance(event, ApplyEvent):
+            lane("store", event.store).append(
+                ("apply", str(event.wid), event.global_seq,
+                 vc(event.applied_vc))
+            )
+        elif isinstance(event, InstallEvent):
+            lane("store", event.store).append(
+                ("install", vc(event.version))
+            )
+        elif isinstance(event, DropEvent):
+            lane("store", event.store).append(("drop", str(event.wid)))
+        elif isinstance(event, WriteIssueEvent):
+            lane("client", event.client_id).append(
+                ("write", str(event.wid), event.store)
+            )
+        elif isinstance(event, WriteAckEvent):
+            lane("client", event.client_id).append(
+                ("ack", str(event.wid), event.store)
+            )
+        elif isinstance(event, ReadEvent) and include_reads:
+            lane("client", event.client_id).append(
+                ("read", event.store, vc(event.served_vc),
+                 vc(event.requirement))
+            )
+    return signature

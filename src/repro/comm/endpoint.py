@@ -11,10 +11,9 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.comm.message import Message
-from repro.net.network import Network
 from repro.sim.errors import SimulationError
 from repro.sim.future import Future
-from repro.sim.kernel import Simulator
+from repro.transport.interface import Clock, Transport
 
 #: Handler for unsolicited messages: ``handler(src_address, message)``.
 MessageHandler = Callable[[str, Message], None]
@@ -30,7 +29,9 @@ class CommunicationObject:
     Parameters
     ----------
     sim, network:
-        The simulation kernel and the datagram network.
+        The substrate, as the unified :class:`~repro.transport.interface.
+        Clock` and :class:`~repro.transport.interface.Transport` protocols
+        -- the simulated pair or the wall-clock pair interchangeably.
     address:
         This address space's network name.
     reliable:
@@ -40,8 +41,8 @@ class CommunicationObject:
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        sim: Clock,
+        network: Transport,
         address: str,
         reliable: bool = True,
     ) -> None:

@@ -20,7 +20,7 @@ from repro.core.interfaces import (
     SemanticsObject,
 )
 from repro.sim.future import Future
-from repro.sim.kernel import Simulator
+from repro.transport.interface import Clock
 
 
 class ControlObject(ControlInterface):
@@ -28,7 +28,7 @@ class ControlObject(ControlInterface):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         comm: CommunicationObject,
         replication: ReplicationObject,
         semantics: Optional[SemanticsObject],

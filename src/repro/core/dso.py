@@ -19,11 +19,10 @@ from repro.core.interfaces import Role, SemanticsObject
 from repro.core.local_object import LocalObject
 from repro.core.stub import Stub
 from repro.naming.service import NameService
-from repro.net.network import Network
 from repro.replication.client import ClientReplicationObject
 from repro.replication.engine import StoreReplicationObject
 from repro.replication.policy import ReplicationPolicy
-from repro.sim.kernel import Simulator
+from repro.transport.interface import Clock, Transport
 
 
 class BindError(RuntimeError):
@@ -57,7 +56,7 @@ class Store:
 
     def sync_full(self) -> None:
         """Demand a full-state transfer from the parent (initial mirror sync)."""
-        self.engine._demand(want_full=True)
+        self.engine.reads.demand(want_full=True)
 
 
 @dataclasses.dataclass
@@ -85,7 +84,9 @@ class DistributedSharedObject:
     Parameters
     ----------
     sim, network:
-        Substrate the object lives on.
+        Substrate the object lives on: any :class:`~repro.transport.
+        interface.Clock` / :class:`~repro.transport.interface.Transport`
+        pair (simulated or wall-clock).
     semantics:
         Prototype semantics object; the first permanent store adopts it,
         replicas get :meth:`SemanticsObject.fresh` copies.
@@ -99,8 +100,8 @@ class DistributedSharedObject:
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        sim: Clock,
+        network: Transport,
         semantics: SemanticsObject,
         policy: Optional[ReplicationPolicy] = None,
         object_id: Optional[ObjectId] = None,

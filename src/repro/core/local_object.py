@@ -12,8 +12,7 @@ from typing import Optional
 from repro.comm.endpoint import CommunicationObject
 from repro.core.control import ControlObject
 from repro.core.interfaces import ReplicationObject, Role, SemanticsObject
-from repro.net.network import Network
-from repro.sim.kernel import Simulator
+from repro.transport.interface import Clock, Transport
 
 
 class LocalObject:
@@ -22,13 +21,16 @@ class LocalObject:
     Parameters mirror the minimal composition listed in Section 2 of the
     paper: a semantics object (absent for pure-client address spaces, which
     "only translate method calls to messages"), a communication object, a
-    replication object and the control object created here.
+    replication object and the control object created here.  ``sim`` and
+    ``network`` are any :class:`~repro.transport.interface.Clock` /
+    :class:`~repro.transport.interface.Transport` pair, so the same
+    composition runs in virtual or wall-clock time.
     """
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        sim: Clock,
+        network: Transport,
         address: str,
         role: Role,
         replication: ReplicationObject,

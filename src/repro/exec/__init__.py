@@ -23,6 +23,7 @@ Typical use::
 from repro.exec.cache import ResultCache, code_fingerprint
 from repro.exec.cli import (
     add_exec_arguments,
+    apply_cache_maintenance,
     exec_kwargs,
     supported_exec_kwargs,
 )
@@ -32,6 +33,7 @@ from repro.exec.runner import (
     run_sweep,
 )
 from repro.exec.seeding import config_hash, derive_seed
+from repro.exec.single import run_cached_single
 from repro.exec.spec import SweepPoint, SweepSpec
 
 __all__ = [
@@ -40,11 +42,13 @@ __all__ = [
     "SweepPointError",
     "SweepSpec",
     "add_exec_arguments",
+    "apply_cache_maintenance",
     "code_fingerprint",
     "config_hash",
     "default_parallelism",
     "derive_seed",
     "exec_kwargs",
+    "run_cached_single",
     "run_sweep",
     "supported_exec_kwargs",
 ]

@@ -15,6 +15,7 @@ import hashlib
 import inspect
 import os
 import pickle
+import shutil
 import tempfile
 from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Tuple
@@ -130,3 +131,41 @@ class ResultCache:
                 pass
             raise
         self.writes += 1
+
+    # -- maintenance ----------------------------------------------------------
+
+    def evict_stale(self) -> int:
+        """Remove cache trees written under *other* code fingerprints.
+
+        Every edit to the ``repro`` sources rotates the fingerprint, so
+        the old trees can never be read again; without eviction they
+        accumulate as dead weight.  Returns the number of fingerprint
+        directories removed.  Entries under the current fingerprint are
+        untouched.
+        """
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        for entry in sorted(self.root.iterdir()):
+            if not entry.is_dir() or entry.name == self.fingerprint:
+                continue
+            shutil.rmtree(entry, ignore_errors=True)
+            removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Remove every cached entry (all fingerprints, all specs).
+
+        Returns the number of top-level entries removed.  The root
+        directory itself is kept so a running sweep can repopulate it.
+        """
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        for entry in sorted(self.root.iterdir()):
+            if entry.is_dir():
+                shutil.rmtree(entry, ignore_errors=True)
+            else:
+                entry.unlink(missing_ok=True)
+            removed += 1
+        return removed

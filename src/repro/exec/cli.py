@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 
 def _worker_count(text: str) -> int:
@@ -28,7 +28,7 @@ def _worker_count(text: str) -> int:
 
 
 def add_exec_arguments(parser: argparse.ArgumentParser) -> None:
-    """Install ``--parallel`` and ``--cache-dir`` on ``parser``."""
+    """Install ``--parallel``, ``--cache-dir`` and ``--cache-clear``."""
     parser.add_argument(
         "--parallel", type=_worker_count, default=1, metavar="N",
         help="worker-pool size for sweep points "
@@ -39,6 +39,37 @@ def add_exec_arguments(parser: argparse.ArgumentParser) -> None:
         help="cache finished sweep points here, keyed by config hash "
              "+ code version; re-runs are near-instant",
     )
+    parser.add_argument(
+        "--cache-clear", action="store_true",
+        help="delete every entry under --cache-dir before running "
+             "(stale code-fingerprint trees are evicted automatically "
+             "even without this flag)",
+    )
+
+
+def apply_cache_maintenance(namespace: argparse.Namespace) -> Optional[str]:
+    """Run the cache maintenance a parsed namespace asks for.
+
+    With a ``--cache-dir``: a full wipe under ``--cache-clear``, otherwise
+    eviction of cache trees left behind by previous code versions (their
+    fingerprints can never be read again).  Returns a one-line summary
+    when anything was removed, else ``None``.
+    """
+    cache_dir = getattr(namespace, "cache_dir", None)
+    if cache_dir is None:
+        if getattr(namespace, "cache_clear", False):
+            return "warning: --cache-clear has no effect without --cache-dir"
+        return None
+    from repro.exec.cache import ResultCache
+
+    cache = ResultCache(cache_dir)
+    if getattr(namespace, "cache_clear", False):
+        removed = cache.clear()
+        return f"cache cleared: {removed} entries removed" if removed else None
+    removed = cache.evict_stale()
+    if removed:
+        return f"cache maintenance: {removed} stale fingerprint tree(s) evicted"
+    return None
 
 
 def exec_kwargs(namespace: argparse.Namespace) -> Dict[str, Any]:

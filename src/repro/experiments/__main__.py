@@ -4,14 +4,17 @@ Usage::
 
     python -m repro.experiments                     # everything, serial
     python -m repro.experiments t1 f3 x5            # a selection
+    python -m repro.experiments --only t1,f3,x5     # the same, flag form
     python -m repro.experiments x1 --parallel 4     # fan sweep points out
     python -m repro.experiments --parallel 0 --cache-dir .sweep-cache
+    python -m repro.experiments --cache-dir .sweep-cache --cache-clear
 
-Experiment ids match DESIGN.md section 4 (t1 t2 f1 f2 f3 f4 x1..x8).
-Sweep-shaped experiments accept ``--parallel`` (worker-pool size; 0 means
-one worker per CPU) and ``--cache-dir`` (on-disk result cache keyed by
-config hash + code version).  Results are bit-identical at any
-parallelism; single-run tables and figures ignore the flags.
+Experiment ids match DESIGN.md section 4 (t1 t2 f1 f2 f3 f4 x1..x9).
+Every experiment accepts ``--cache-dir`` (on-disk result cache keyed by
+config hash + code version; stale code-fingerprint trees are evicted on
+startup, ``--cache-clear`` wipes the cache entirely); sweep-shaped
+experiments also accept ``--parallel`` (worker-pool size; 0 means one
+worker per CPU).  Results are bit-identical at any parallelism.
 """
 
 from __future__ import annotations
@@ -20,8 +23,14 @@ import argparse
 import sys
 from typing import Callable, Dict, List
 
-from repro.exec import add_exec_arguments, exec_kwargs, supported_exec_kwargs
+from repro.exec import (
+    add_exec_arguments,
+    apply_cache_maintenance,
+    exec_kwargs,
+    supported_exec_kwargs,
+)
 from repro.experiments.adaptive import run_adaptive
+from repro.experiments.backends import run_backend_smoke
 from repro.experiments.conference import run_conference, run_fig4_wid_flow
 from repro.experiments.endtoend import run_endtoend
 from repro.experiments.figures import run_fig1, run_fig2
@@ -50,6 +59,7 @@ RUNNERS: Dict[str, Callable] = {
     "x6": run_initiative_and_transfer,
     "x7": run_sessions,
     "x8": run_adaptive,
+    "x9": run_backend_smoke,
 }
 
 
@@ -62,18 +72,32 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", nargs="*", metavar="ID",
         help=f"experiment ids to run (default: all of {', '.join(RUNNERS)})",
     )
+    parser.add_argument(
+        "--only", default=None, metavar="IDS",
+        help="comma-separated experiment ids to run (e.g. --only x5,f2); "
+             "combined with any positional ids",
+    )
     add_exec_arguments(parser)
     return parser
 
 
 def main(argv: List[str]) -> int:
     args = build_parser().parse_args(argv)
-    requested = [exp.lower() for exp in args.experiments] or list(RUNNERS)
+    requested = [exp.lower() for exp in args.experiments]
+    if args.only:
+        requested += [
+            exp.strip().lower()
+            for exp in args.only.split(",") if exp.strip()
+        ]
+    requested = list(dict.fromkeys(requested)) or list(RUNNERS)
     unknown = [exp for exp in requested if exp not in RUNNERS]
     if unknown:
         print(f"unknown experiment ids: {', '.join(unknown)}")
         print(f"available: {', '.join(RUNNERS)}")
         return 2
+    maintenance = apply_cache_maintenance(args)
+    if maintenance:
+        print(maintenance)
     options = exec_kwargs(args)
     for exp_id in requested:
         runner = RUNNERS[exp_id]

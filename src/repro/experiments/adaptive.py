@@ -18,9 +18,7 @@ from repro.replication.adaptive import AdaptiveConfig, AdaptivePolicyController
 from repro.replication.policy import (
     AccessTransfer,
     CoherenceTransfer,
-    Propagation,
     ReplicationPolicy,
-    TransferInstant,
 )
 from repro.sim.process import Delay, Process, WaitFor
 from repro.workload.scenarios import Deployment, build_tree

@@ -12,10 +12,11 @@
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Any, Dict, Generator, Optional
 
 from repro.coherence.models import CoherenceModel
 from repro.core.interfaces import Role
+from repro.exec import run_cached_single
 from repro.experiments.harness import ExperimentResult
 from repro.metrics.staleness import staleness_summary
 from repro.replication.policy import (
@@ -30,8 +31,20 @@ from repro.stores.hierarchy import describe_hierarchy
 from repro.workload.scenarios import build_tree
 
 
-def run_fig1(seed: int = 0) -> ExperimentResult:
+def _fig1_point(config: Dict[str, Any], seed: int) -> ExperimentResult:
+    """Cacheable F1 point; the scenario seed rides in the config."""
+    del seed
+    return _fig1(seed=config["seed"])
+
+
+def run_fig1(seed: int = 0,
+             cache_dir: Optional[str] = None) -> ExperimentResult:
     """F1: one Web object distributed across four address spaces."""
+    return run_cached_single("f1-architecture", _fig1_point,
+                             {"seed": seed}, cache_dir=cache_dir)
+
+
+def _fig1(seed: int) -> ExperimentResult:
     deployment = build_tree(
         policy=ReplicationPolicy(),
         n_mirrors=1,
@@ -83,12 +96,31 @@ def run_fig1(seed: int = 0) -> ExperimentResult:
     return result
 
 
+def _fig2_point(config: Dict[str, Any], seed: int) -> ExperimentResult:
+    """Cacheable F2 point; scenario parameters ride in the config."""
+    del seed
+    return _fig2(
+        seed=config["seed"],
+        scope=StoreScope(config["scope"]),
+        writes=config["writes"],
+    )
+
+
 def run_fig2(
     seed: int = 0,
     scope: StoreScope = StoreScope.PERMANENT_AND_OBJECT_INITIATED,
     writes: int = 12,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """F2: layered stores; guarantee weakening below the scope layer."""
+    return run_cached_single(
+        "f2-store-layers", _fig2_point,
+        {"seed": seed, "scope": scope, "writes": writes},
+        cache_dir=cache_dir,
+    )
+
+
+def _fig2(seed: int, scope: StoreScope, writes: int) -> ExperimentResult:
     policy = ReplicationPolicy(
         model=CoherenceModel.PRAM,
         store_scope=scope,

@@ -9,13 +9,27 @@ the :meth:`ReplicationPolicy.conference_example` policy object and then
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional
+
+from repro.exec import run_cached_single
 from repro.experiments.harness import ExperimentResult
 from repro.replication.policy import TABLE1_ROWS, ReplicationPolicy
 
 
-def run_table1() -> ExperimentResult:
+def _table1_point(config: Dict[str, Any], seed: int) -> ExperimentResult:
+    """Cacheable T1 point (parameter-free; the derived seed is unused)."""
+    del config, seed
+    return _table1()
+
+
+def run_table1(cache_dir: Optional[str] = None) -> ExperimentResult:
     """Regenerate Table 1: implementation parameters for replication
     policies."""
+    return run_cached_single("t1-table1", _table1_point, {},
+                             cache_dir=cache_dir)
+
+
+def _table1() -> ExperimentResult:
     result = ExperimentResult(
         name="Table 1: Implementation parameters for replication policies",
         headers=["Parameter", "Values", "Meaning"],
@@ -34,9 +48,20 @@ def run_table1() -> ExperimentResult:
     return result
 
 
-def run_table2() -> ExperimentResult:
+def _table2_point(config: Dict[str, Any], seed: int) -> ExperimentResult:
+    """Cacheable T2 point (parameter-free; the derived seed is unused)."""
+    del config, seed
+    return _table2()
+
+
+def run_table2(cache_dir: Optional[str] = None) -> ExperimentResult:
     """Regenerate Table 2: replication strategy parameter values for the
     conference-page example."""
+    return run_cached_single("t2-table2", _table2_point, {},
+                             cache_dir=cache_dir)
+
+
+def _table2() -> ExperimentResult:
     policy = ReplicationPolicy.conference_example()
     result = ExperimentResult(
         name="Table 2: Replication strategy parameter values for the example",

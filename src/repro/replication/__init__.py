@@ -6,6 +6,13 @@ replication strategy the paper's Table 1 spans: a
 implementation parameters and the two outdate reactions; the
 :class:`StoreReplicationObject` and :class:`ClientReplicationObject`
 interpret it at stores and clients respectively.
+
+The store engine is a façade over four composable protocol components,
+each pluggable in isolation: :class:`WritePath`
+(:mod:`repro.replication.write_path`), :class:`ReadDemandPath`
+(:mod:`repro.replication.read_path`), :class:`PropagationStrategy`
+(:mod:`repro.replication.propagation`) and :class:`CoherenceEmitter`
+(:mod:`repro.replication.emission`).
 """
 
 from repro.replication.policy import (
@@ -27,6 +34,10 @@ from repro.replication.adaptive import (
 )
 from repro.replication.engine import StoreReplicationObject
 from repro.replication.client import ClientReplicationObject, ReplicaError
+from repro.replication.emission import CoherenceEmitter
+from repro.replication.propagation import PropagationStrategy
+from repro.replication.read_path import ReadDemandPath, WaitingRead
+from repro.replication.write_path import WritePath
 
 __all__ = [
     "AccessTransfer",
@@ -34,9 +45,12 @@ __all__ = [
     "AdaptiveConfig",
     "AdaptivePolicyController",
     "ClientReplicationObject",
+    "CoherenceEmitter",
     "CoherenceTransfer",
     "OutdateReaction",
     "Propagation",
+    "PropagationStrategy",
+    "ReadDemandPath",
     "ReplicaError",
     "ReplicationPolicy",
     "StoreReplicationObject",
@@ -44,5 +58,7 @@ __all__ = [
     "TABLE1_ROWS",
     "TransferInitiative",
     "TransferInstant",
+    "WaitingRead",
+    "WritePath",
     "WriteSet",
 ]

@@ -1,98 +1,67 @@
-"""The store-side replication object.
+"""The store-side replication object: a façade over a protocol stack.
 
 One policy-parameterized engine implements every replication strategy in
-the Table-1 space (design decision D3).  A store's behaviour is the product
-of:
-
-- its **ordering discipline** (from the object's coherence model, weakened
-  to eventual below the store-scope layer, design decision D4);
-- the **propagation parameters**: update vs invalidate, push vs pull,
-  immediate vs lazy-aggregated, partial vs full vs notification transfer;
-- the **outdate reactions**: what to do when the replica is noticed to be
-  outdated (object reaction) or when a session requirement cannot be met
-  (client reaction) -- wait for pushes, or demand an update from upstream.
-
+the Table-1 space (design decision D3): the ordering discipline from the
+object's coherence model (weakened to eventual below the store-scope
+layer, D4), the propagation parameters, and the two outdate reactions.
 Stores form the Fig. 2 hierarchy through ``parent``/``children`` links;
 writes flow up to the primary permanent store (except eventual
 multi-writer objects, which accept writes anywhere and gossip), updates
 flow down.
+
+The engine itself is a thin coordinator over four composable components:
+:class:`~repro.replication.write_path.WritePath` (accept / forward /
+stamp / acknowledge), :class:`~repro.replication.read_path.ReadDemandPath`
+(read admission + demand/state transfer),
+:class:`~repro.replication.propagation.PropagationStrategy` (whether and
+when applied records travel) and
+:class:`~repro.replication.emission.CoherenceEmitter` (what one coherence
+transmission carries).  What remains here is the shared replica state, the
+message dispatch table, and the apply path every component converges on.
+The stack reaches the substrate only through its
+:class:`~repro.core.interfaces.ControlInterface`, implemented over the
+unified :mod:`repro.transport` protocols -- so the identical protocol code
+runs in virtual time and wall-clock time.
 """
 
 from __future__ import annotations
 
 import collections
-import dataclasses
-from typing import Any, Dict, List, Optional, Sequence, Set
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.coherence.models import CoherenceModel
-from repro.coherence.ordering import (
-    OrderingDiscipline,
-    SequentialOrdering,
-    make_ordering,
-)
+from repro.coherence.ordering import OrderingDiscipline, make_ordering
 from repro.coherence.records import WriteRecord
 from repro.coherence.trace import TraceRecorder
 from repro.coherence.vector_clock import VectorClock
-from repro.comm.invocation import MarshalledInvocation, decode_invocation
+from repro.comm.invocation import MarshalledInvocation
 from repro.comm.message import Message
 from repro.core.ids import WriteId
 from repro.core.interfaces import ReplicationObject, Role
 from repro.replication import messages as mk
-from repro.replication.policy import (
-    AccessTransfer,
-    CoherenceTransfer,
-    OutdateReaction,
-    Propagation,
-    ReplicationPolicy,
-    TransferInitiative,
-    TransferInstant,
-    WriteSet,
-)
+from repro.replication.emission import CoherenceEmitter
+from repro.replication.policy import OutdateReaction, ReplicationPolicy
+from repro.replication.propagation import PropagationStrategy
+from repro.replication.read_path import ReadDemandPath, WaitingRead
+from repro.replication.write_path import WritePath
 from repro.sim.future import Future
 
-
-@dataclasses.dataclass
-class _WaitingRead:
-    """A read held back until the replica can serve it."""
-
-    src: str
-    request: Message
-    invocation: MarshalledInvocation
-    client_id: str
-    requirement: VectorClock
-    involved: Sequence[str]
-    enqueued_at: float
-    #: Keys upstream reported absent; treated as present-and-missing so the
-    #: semantics object produces the authoritative not-found error.
-    absent: Set[str] = dataclasses.field(default_factory=set)
-    #: Pull-on-access (pull+immediate) completed for this read.
-    pulled: bool = False
+#: Backward-compatible alias for the once-module-private entry class.
+_WaitingRead = WaitingRead
 
 
 class StoreReplicationObject(ReplicationObject):
     """Replication sub-object for permanent, mirror and cache stores.
 
-    Parameters
-    ----------
-    policy:
-        The object's replication strategy (Table 1 values).
-    role:
-        Store layer this replica sits at (Fig. 2).
-    parent:
-        Upstream store address; ``None`` makes this the primary permanent
-        store (the write sink and, under sequential coherence, the
-        sequencer).
-    children:
-        Initially subscribed downstream stores; more may subscribe at
-        runtime.
-    trace:
-        Shared recorder for coherence checking.
-    allowed_writer:
-        Under a ``single`` write set, the only client permitted to write
-        (``None`` locks to the first writer seen).
-    demand_retry_interval:
-        Backoff before re-demanding when an upstream reply did not satisfy
-        a blocked read.
+    ``policy`` is the object's replication strategy (Table 1 values) and
+    ``role`` the store layer this replica sits at (Fig. 2).  ``parent`` is
+    the upstream store address -- ``None`` makes this the primary permanent
+    store (the write sink and, under sequential coherence, the sequencer);
+    ``children`` are the initially subscribed downstream stores (more may
+    subscribe at runtime).  ``trace`` is the shared recorder for coherence
+    checking; ``allowed_writer`` locks a ``single`` write set to one client
+    (``None`` locks to the first writer seen).  The ``demand_*`` parameters
+    set the retry backoff and at-least-once envelope of catch-up demands.
     """
 
     def __init__(
@@ -130,24 +99,21 @@ class StoreReplicationObject(ReplicationObject):
         #: Per-key freshness: version vector the key's content is current to.
         self.as_of: Dict[str, VectorClock] = {}
         #: Keys whose content was invalidated by upstream.
-        self.invalid_keys: Set[str] = set()
+        self.invalid_keys: set = set()
         #: Version upstream notified us exists (staleness awareness).
         self.known_remote = VectorClock()
         self.counters: collections.Counter = collections.Counter()
-        self._waiting: List[_WaitingRead] = []
-        self._pending_acks: Dict[WriteId, tuple] = {}
-        self._pending_lazy: List[WriteRecord] = []
-        self._lazy_timer = None
-        self._pull_timer = None
-        self._demand_inflight = False
-        self._demand_again = False
-        self._next_global = 1
         # Whether this replica holds the complete document: true from birth
         # for the primary (it owns the initial state), true for others
         # after their first full-snapshot install.  Needed because a fresh
         # replica and the primary can share an *empty* version vector (the
         # initial pages predate all writes) yet differ entirely in content.
-        self._has_full_state = parent is None
+        self.has_full_state = parent is None
+        # The protocol stack: four components sharing this replica state.
+        self.writes = WritePath(self)
+        self.reads = ReadDemandPath(self)
+        self.propagation = PropagationStrategy(self)
+        self.emission = CoherenceEmitter(self)
 
     # ------------------------------------------------------------------ setup
 
@@ -157,26 +123,12 @@ class StoreReplicationObject(ReplicationObject):
         return self.parent is None
 
     def start(self) -> None:
-        """Arm the periodic-pull timer if the policy calls for one.
-
-        The lazy-flush timer is armed on demand (when the first update is
-        buffered) so that idle objects schedule nothing.
-        """
-        if (
-            self.policy.transfer_initiative is TransferInitiative.PULL
-            and self.policy.transfer_instant is TransferInstant.LAZY
-            and self.parent is not None
-        ):
-            self._pull_timer = self.control.schedule(
-                self.policy.lazy_interval, self._periodic_pull, daemon=True
-            )
+        """Arm the propagation strategy's timers, if the policy needs any."""
+        self.propagation.start()
 
     def stop(self) -> None:
         """Cancel timers."""
-        if self._lazy_timer is not None:
-            self._lazy_timer.cancel()
-        if self._pull_timer is not None:
-            self._pull_timer.cancel()
+        self.propagation.stop()
 
     def subscribe_child(self, address: str) -> None:
         """Add a downstream store to the propagation set."""
@@ -199,20 +151,20 @@ class StoreReplicationObject(ReplicationObject):
         outer = Future()
         session = session or {}
         if invocation.read_only:
-            entry = self._make_waiting(
+            entry = self.reads.make_waiting(
                 src=self.control.address,
                 request=Message(mk.READ),
                 invocation=invocation,
                 session=session,
             )
             entry.request_future = inner  # type: ignore[attr-defined]
-            self._admit_read(entry)
+            self.reads.admit(entry)
             unwrap_key = "result"
         else:
-            record = self._fresh_record(invocation, session)
-            self._accept_or_forward(record, session,
-                                    reply_src=None, request=None,
-                                    future=inner)
+            record = self.writes.fresh_record(invocation, session)
+            self.writes.accept_or_forward(record, session,
+                                          reply_src=None, request=None,
+                                          future=inner)
             unwrap_key = "wid"
 
         def unwrap(resolved: Future) -> None:
@@ -229,45 +181,25 @@ class StoreReplicationObject(ReplicationObject):
         inner.add_callback(unwrap)
         return outer
 
-    def _fresh_record(
-        self, invocation: MarshalledInvocation, session: Dict[str, Any]
-    ) -> WriteRecord:
-        """Build a record for a write issued by a co-located client."""
-        client_id = session.get("client_id", "local")
-        if "wid" in session:
-            wid = WriteId.parse(session["wid"])
-        else:
-            counters = getattr(self, "_local_seqnos", None)
-            if counters is None:
-                counters = self._local_seqnos = {}
-            counters[client_id] = counters.get(client_id, 0) + 1
-            wid = WriteId(client_id, counters[client_id])
-        deps = session.get("deps")
-        return WriteRecord(
-            wid=wid,
-            invocation=invocation,
-            deps=VectorClock.from_dict(deps) if deps else None,
-        )
-
     # ------------------------------------------------------------- message paths
 
     def handle_message(self, src: str, message: Message) -> None:
-        """Dispatch protocol traffic."""
+        """Dispatch protocol traffic to the owning component."""
         self.counters[f"rx:{message.kind}"] += 1
         if message.kind == mk.WRITE:
-            self._on_write(src, message)
+            self.writes.on_write(src, message)
         elif message.kind == mk.READ:
-            self._on_read(src, message)
+            self.reads.on_read(src, message)
         elif message.kind == mk.UPDATE:
             self._on_update(src, message)
         elif message.kind == mk.UPDATE_FULL:
-            self._on_update_full(src, message)
+            self.reads.install_snapshot(message.body)
         elif message.kind == mk.INVALIDATE:
             self._on_invalidate(src, message)
         elif message.kind == mk.NOTIFY:
             self._on_notify(src, message)
         elif message.kind == mk.DEMAND:
-            self._on_demand(src, message)
+            self.reads.serve_demand(src, message)
         elif message.kind == mk.SUBSCRIBE:
             self.subscribe_child(message.body.get("address", src))
         elif message.kind == mk.UNSUBSCRIBE:
@@ -275,147 +207,31 @@ class StoreReplicationObject(ReplicationObject):
             if address in self.children:
                 self.children.remove(address)
 
-    # -- writes -----------------------------------------------------------------
+    def _on_update(self, src: str, message: Message) -> None:
+        records = [WriteRecord.from_wire(w) for w in message.body["records"]]
+        self.ingest_records(records, skip=src)
 
-    def _on_write(self, src: str, message: Message) -> None:
-        record = WriteRecord.from_wire(message.body["record"])
-        session = message.body.get("session", {})
-        # Duplicate (client retry after a lost ack): acknowledge idempotently.
-        if self.ordering.applied.includes(record.wid) or record.wid in self.ordering.seen:
-            self._ack(src, message, record.wid)
-            return
-        self._accept_or_forward(record, session, reply_src=src, request=message,
-                                future=None)
+    def _on_invalidate(self, src: str, message: Message) -> None:
+        keys = message.body.get("keys")
+        self.known_remote.merge(VectorClock.from_dict(message.body["version"]))
+        if keys is None:
+            self.invalid_keys.update(self.control.semantics_snapshot().keys())
+        else:
+            self.invalid_keys.update(keys)
+        if self.policy.object_outdate_reaction is OutdateReaction.DEMAND:
+            self.reads.demand(keys=sorted(self.invalid_keys) or None)
 
-    def _accept_or_forward(
-        self,
-        record: WriteRecord,
-        session: Dict[str, Any],
-        reply_src: Optional[str],
-        request: Optional[Message],
-        future: Optional[Future],
-    ) -> None:
-        accepts_here = self.is_primary or (
-            self.policy.model is CoherenceModel.EVENTUAL
-            and self.policy.write_set is WriteSet.MULTIPLE
-        )
-        if not accepts_here:
-            self._forward_write(record, session, reply_src, request, future)
-            return
-        error = self._writer_check(record.wid.client_id)
-        if error is not None:
-            self._fail(reply_src, request, future, error)
-            return
-        self._stamp_record(record)
-        self._pending_acks[record.wid] = (reply_src, request, future)
-        before_dropped = self.ordering.dropped
-        ready = self.ordering.offer(record)
-        if self.ordering.dropped > before_dropped:
-            # Superseded under FIFO/LWW: honored by being ignored.
-            if self.trace is not None:
-                self.trace.record_drop(
-                    self.control.now(), self.control.address, record.wid
-                )
-            self._settle_ack(record.wid)
-        self._apply_records(ready)
-        self._maybe_react_to_gap()
+    def _on_notify(self, src: str, message: Message) -> None:
+        self.known_remote.merge(VectorClock.from_dict(message.body["version"]))
+        if self.policy.object_outdate_reaction is OutdateReaction.DEMAND:
+            self.reads.demand()
 
-    def _forward_write(
-        self,
-        record: WriteRecord,
-        session: Dict[str, Any],
-        reply_src: Optional[str],
-        request: Optional[Message],
-        future: Optional[Future],
-    ) -> None:
-        body = {"record": record.to_wire(), "session": session}
-        self.counters["tx:write-forward"] += 1
-        upstream = self.control.request(self.parent, Message(mk.WRITE, body))
+    # -- the apply path every component converges on ---------------------------
 
-        def relay(resolved: Future) -> None:
-            try:
-                reply = resolved.result()
-            except BaseException as exc:
-                self._fail(reply_src, request, future, str(exc))
-                return
-            if reply.kind == mk.ERROR:
-                self._fail(reply_src, request, future,
-                           reply.body.get("error", "write failed"))
-                return
-            if future is not None:
-                future.set_result(reply.body)
-            elif reply_src is not None and request is not None:
-                self.control.reply(
-                    reply_src,
-                    Message(reply.kind, dict(reply.body), reply_to=request.msg_id),
-                )
-
-        upstream.add_callback(relay)
-
-    def _writer_check(self, client_id: str) -> Optional[str]:
-        if self.policy.write_set is WriteSet.MULTIPLE:
-            return None
-        if self.allowed_writer is None:
-            self.allowed_writer = client_id
-        if client_id != self.allowed_writer:
-            return (
-                f"single-writer object: {client_id} is not the designated "
-                f"writer {self.allowed_writer}"
-            )
-        return None
-
-    def _stamp_record(self, record: WriteRecord) -> None:
-        record.touched = tuple(self.control.touched_keys(record.invocation))
-        record.timestamp = self.control.now()
-        record.origin = self.control.address
-        if (
-            self.policy.model is CoherenceModel.SEQUENTIAL
-            and self.is_primary
-            and record.global_seq is None
-        ):
-            record.global_seq = self._next_global
-            self._next_global += 1
-
-    def _ack(self, src: Optional[str], request: Optional[Message],
-             wid: WriteId, future: Optional[Future] = None) -> None:
-        body = {
-            "wid": str(wid),
-            "version": self.ordering.applied.as_dict(),
-            "store": self.control.address,
-        }
-        if future is not None:
-            future.set_result(body)
-        elif src is not None and request is not None:
-            self.counters["tx:write_ack"] += 1
-            self.control.reply(src, request.reply(mk.WRITE_ACK, body))
-
-    def _settle_ack(self, wid: WriteId) -> None:
-        pending = self._pending_acks.pop(wid, None)
-        if pending is None:
-            return
-        src, request, future = pending
-        self._ack(src, request, wid, future=future)
-
-    def _fail(
-        self,
-        src: Optional[str],
-        request: Optional[Message],
-        future: Optional[Future],
-        error: str,
-    ) -> None:
-        from repro.replication.client import ReplicaError
-
-        if future is not None:
-            future.set_error(ReplicaError(error))
-        elif src is not None and request is not None:
-            self.counters["tx:error"] += 1
-            self.control.reply(src, request.reply(mk.ERROR, {"error": error}))
-
-    # -- applying ----------------------------------------------------------------
-
-    def _apply_records(
+    def apply_records(
         self, records: Sequence[WriteRecord], skip: Optional[str] = None
     ) -> None:
+        """Apply ordering-released records, then propagate and serve reads."""
         if not records:
             return
         for record in records:
@@ -442,132 +258,19 @@ class StoreReplicationObject(ReplicationObject):
                     wid=record.wid,
                     applied_vc=self.ordering.applied.as_dict(),
                     global_seq=record.global_seq,
-                    deps=record.deps.as_dict() if record.deps is not None else None,
+                    deps=(
+                        record.deps.as_dict()
+                        if record.deps is not None else None
+                    ),
                 )
-            self._settle_ack(record.wid)
-        self._propagate(records, skip=skip)
-        self._serve_waiting()
+            self.writes.settle_ack(record.wid)
+        self.propagation.propagate(records, skip=skip)
+        self.reads.serve_waiting()
 
-    def _maybe_react_to_gap(self) -> None:
-        """Object-outdate reaction: the ordering buffer signals missed writes."""
-        if not self.ordering.has_gaps():
-            return
-        if self.policy.object_outdate_reaction is OutdateReaction.DEMAND:
-            if self.parent is not None:
-                self._demand()
-
-    # -- propagation ------------------------------------------------------------------
-
-    def _propagate(self, records: Sequence[WriteRecord], skip: Optional[str] = None) -> None:
-        """Ship newly applied records to peers per the policy."""
-        locally_accepted = [
-            r for r in records if r.origin == self.control.address
-        ]
-        # Gossip up: writes accepted at a non-primary store (eventual
-        # multi-writer) flow to the parent immediately for convergence.
-        if self.parent is not None and locally_accepted and skip != self.parent:
-            self._send_update(self.parent, locally_accepted)
-        if self.policy.transfer_initiative is TransferInitiative.PULL:
-            return
-        targets = [c for c in self.children if c != skip]
-        if not targets:
-            return
-        if self.policy.transfer_instant is TransferInstant.LAZY:
-            self._pending_lazy.extend(records)
-            if self._lazy_timer is None:
-                # One aggregation window per burst: the flush fires one
-                # period after the first buffered change.
-                self._lazy_timer = self.control.schedule(
-                    self.policy.lazy_interval, self._lazy_flush
-                )
-            return
-        self._emit_coherence(targets, records)
-
-    def _emit_coherence(
-        self, targets: Sequence[str], records: Sequence[WriteRecord]
+    def ingest_records(
+        self, records: Sequence[WriteRecord], skip: Optional[str]
     ) -> None:
-        """One coherence transmission, shaped by propagation + transfer type."""
-        if self.policy.coherence_transfer is CoherenceTransfer.NOTIFICATION:
-            message = Message(
-                mk.NOTIFY, {"version": self.ordering.applied.as_dict()}
-            )
-            self.counters["tx:notify"] += len(targets)
-            self.control.multicast(targets, message)
-            return
-        if self.policy.propagation is Propagation.INVALIDATE:
-            keys: Optional[List[str]] = None
-            if self.policy.coherence_transfer is CoherenceTransfer.PARTIAL:
-                touched: Set[str] = set()
-                for record in records:
-                    touched.update(record.touched)
-                keys = sorted(touched)
-            message = Message(
-                mk.INVALIDATE,
-                {"keys": keys, "version": self.ordering.applied.as_dict()},
-            )
-            self.counters["tx:invalidate"] += len(targets)
-            self.control.multicast(targets, message)
-            return
-        if self.policy.coherence_transfer is CoherenceTransfer.FULL:
-            message = Message(mk.UPDATE_FULL, self._snapshot_body())
-            self.counters["tx:update_full"] += len(targets)
-            self.control.multicast(targets, message)
-            return
-        for target in targets:
-            self._send_update(target, records)
-
-    def _send_update(self, target: str, records: Sequence[WriteRecord]) -> None:
-        message = Message(
-            mk.UPDATE, {"records": [r.to_wire() for r in records]}
-        )
-        self.counters["tx:update"] += 1
-        self.control.send(target, message)
-
-    def _snapshot_body(self) -> Dict[str, Any]:
-        body = {
-            "state": self.control.semantics_snapshot(),
-            "version": self.ordering.applied.as_dict(),
-        }
-        if isinstance(self.ordering, SequentialOrdering):
-            body["next_global"] = self.ordering.next_global
-        return body
-
-    def _lazy_flush(self) -> None:
-        """Flush of aggregated coherence traffic (lazy transfer instant)."""
-        self._lazy_timer = None
-        pending, self._pending_lazy = self._pending_lazy, []
-        if pending and self.children:
-            self._emit_coherence(self.children, self._aggregate(pending))
-
-    def _aggregate(self, records: List[WriteRecord]) -> List[WriteRecord]:
-        """Aggregate a lazy batch: overwrite models keep only the last
-        record per key set ("successive updates can be aggregated")."""
-        if self.policy.model not in (CoherenceModel.FIFO, CoherenceModel.EVENTUAL):
-            return records
-        latest: Dict[tuple, WriteRecord] = {}
-        order: List[tuple] = []
-        for record in records:
-            key = record.touched
-            if key not in latest:
-                order.append(key)
-            latest[key] = record
-        return [latest[key] for key in order]
-
-    def _periodic_pull(self) -> None:
-        try:
-            self._demand()
-        finally:
-            self._pull_timer = self.control.schedule(
-                self.policy.lazy_interval, self._periodic_pull, daemon=True
-            )
-
-    # -- downstream message handling ------------------------------------------------
-
-    def _on_update(self, src: str, message: Message) -> None:
-        records = [WriteRecord.from_wire(w) for w in message.body["records"]]
-        self._ingest_records(records, skip=src)
-
-    def _ingest_records(self, records: Sequence[WriteRecord], skip: Optional[str]) -> None:
+        """Offer received records to the ordering, applying what's released."""
         ready: List[WriteRecord] = []
         for record in records:
             before = self.ordering.dropped
@@ -576,322 +279,26 @@ class StoreReplicationObject(ReplicationObject):
                 self.trace.record_drop(
                     self.control.now(), self.control.address, record.wid
                 )
-        # Propagation cascade happens inside _apply_records; the skip
+        # Propagation cascade happens inside apply_records; the skip
         # parameter prevents echoing records straight back to the sender.
         if ready:
-            self._apply_records(ready, skip=skip)
-        self._maybe_react_to_gap()
+            self.apply_records(ready, skip=skip)
+        self.react_to_gap()
 
-    def _on_update_full(self, src: str, message: Message) -> None:
-        self._install_snapshot(message.body)
+    def react_to_gap(self) -> None:
+        """Object-outdate reaction: the ordering buffer signals missed writes."""
+        if not self.ordering.has_gaps():
+            return
+        if self.policy.object_outdate_reaction is OutdateReaction.DEMAND:
+            if self.parent is not None:
+                self.reads.demand()
+
+    # -- compatibility delegator (pre-decomposition private surface) -----------
 
     def _install_snapshot(self, body: Dict[str, Any]) -> None:
-        version = VectorClock.from_dict(body["version"])
-        if self.ordering.applied.dominates(version) and (
-            self.ordering.applied != version
-        ):
-            return  # strictly newer locally: never regress
-        if version == self.ordering.applied and self._has_full_state:
-            return  # no-op refresh
-        self.control.semantics_restore(body["state"], partial=False)
-        self._has_full_state = True
-        if isinstance(self.ordering, SequentialOrdering):
-            self.ordering.install(version, next_global=body.get("next_global"))
-        else:
-            self.ordering.install(version)
-        self.log = []
-        self.log_base = version.copy()
-        stamp = version.copy()
-        self.as_of = {key: stamp for key in self.control.semantics_snapshot()}
-        self.invalid_keys.clear()
-        if self.trace is not None:
-            self.trace.record_install(
-                self.control.now(), self.control.address, version.as_dict()
-            )
-        self._serve_waiting()
+        self.reads.install_snapshot(body)
 
-    def _on_invalidate(self, src: str, message: Message) -> None:
-        keys = message.body.get("keys")
-        self.known_remote.merge(VectorClock.from_dict(message.body["version"]))
-        if keys is None:
-            self.invalid_keys.update(self.control.semantics_snapshot().keys())
-        else:
-            self.invalid_keys.update(keys)
-        if self.policy.object_outdate_reaction is OutdateReaction.DEMAND:
-            self._demand(keys=sorted(self.invalid_keys) or None)
-
-    def _on_notify(self, src: str, message: Message) -> None:
-        self.known_remote.merge(VectorClock.from_dict(message.body["version"]))
-        if self.policy.object_outdate_reaction is OutdateReaction.DEMAND:
-            self._demand()
-
-    # -- demand / catch-up -------------------------------------------------------
-
-    def _demand(
-        self, keys: Optional[Sequence[str]] = None, want_full: Optional[bool] = None
-    ) -> None:
-        """Request catch-up from the parent (the ``demand`` outdate reaction).
-
-        ``keys`` asks for specific page content (access transfer on a miss
-        or invalidation); otherwise the parent sends the log suffix or a
-        snapshot, per the coherence transfer type.
-        """
-        if self.parent is None:
-            return
-        if self._demand_inflight:
-            self._demand_again = True
-            return
-        if want_full is None:
-            want_full = (
-                self.policy.coherence_transfer is CoherenceTransfer.FULL
-                if keys is None
-                else self.policy.access_transfer is AccessTransfer.FULL
-            )
-        self._demand_inflight = True
-        body = {
-            "have": self.ordering.applied.as_dict(),
-            "want_full": bool(want_full),
-            "keys": list(keys) if keys and not want_full else None,
-        }
-        self.counters["tx:demand"] += 1
-        # Timeout + retries make demands survive a lossy transport: a lost
-        # demand (or reply) would otherwise wedge _demand_inflight forever.
-        future = self.control.request(
-            self.parent,
-            Message(mk.DEMAND, body),
-            timeout=self.demand_timeout,
-            retries=self.demand_retries,
-        )
-        future.add_callback(self._on_demand_reply)
-
-    def _on_demand_reply(self, resolved: Future) -> None:
-        self._demand_inflight = False
-        try:
-            reply = resolved.result()
-        except BaseException:
-            self._schedule_redemand()
-            return
-        body = reply.body
-        if body.get("full"):
-            self._install_snapshot(body)
-            # A full snapshot is authoritative about non-existence: any
-            # involved key it lacks is absent, so blocked reads can fail
-            # with the semantics error instead of re-demanding forever.
-            state_keys = set(body.get("state", {}))
-            for entry in self._waiting:
-                entry.absent.update(set(entry.involved) - state_keys)
-        elif body.get("partial"):
-            self._install_partial(body)
-        else:
-            records = [WriteRecord.from_wire(w) for w in body.get("records", ())]
-            self._ingest_records(records, skip=self.parent)
-        for entry in self._waiting:
-            entry.pulled = True
-        self._serve_waiting()
-        if self._demand_again:
-            self._demand_again = False
-            self._demand()
-        elif any(self._retryable(entry) for entry in self._waiting):
-            self._schedule_redemand()
-
-    def _install_partial(self, body: Dict[str, Any]) -> None:
-        state = body.get("state", {})
-        as_of = VectorClock.from_dict(body.get("as_of", {}))
-        if state:
-            self.control.semantics_restore(state, partial=True)
-            for key in state:
-                self.as_of[key] = as_of.copy()
-                self.invalid_keys.discard(key)
-        absent = set(body.get("absent", ()))
-        if absent:
-            for entry in self._waiting:
-                entry.absent.update(absent & set(entry.involved))
-        self._serve_waiting()
-
-    def _retryable(self, entry: _WaitingRead) -> bool:
-        """Whether a blocked read justifies another demand round.
-
-        Missing/invalidated content is always fetched (access semantics);
-        a pure session-requirement gap retries only under the ``demand``
-        client-outdate reaction -- under ``wait`` the read sits until a
-        push arrives.
-        """
-        if self.parent is None or self._servable(entry):
-            return False
-        if self._keys_needing_fetch(entry):
-            return True
-        return self.policy.client_outdate_reaction is OutdateReaction.DEMAND
-
-    def _schedule_redemand(self) -> None:
-        def retry() -> None:
-            if self._demand_inflight:
-                return
-            for entry in self._waiting:
-                if self._retryable(entry):
-                    self._react_to_blocked_read(entry)
-                    return
-
-        self.control.schedule(self.demand_retry_interval, retry)
-
-    def _on_demand(self, src: str, message: Message) -> None:
-        """Serve a downstream catch-up request."""
-        have = VectorClock.from_dict(message.body.get("have", {}))
-        want_full = bool(message.body.get("want_full"))
-        keys = message.body.get("keys")
-        self.counters["tx:demand_reply"] += 1
-        if want_full or (not have.dominates(self.log_base) and keys is None):
-            body = dict(self._snapshot_body())
-            body["full"] = True
-            self.control.reply(src, message.reply(mk.DEMAND_REPLY, body))
-            return
-        if keys is not None:
-            present = [k for k in keys if not self.control.missing_keys([k])]
-            absent = [k for k in keys if k not in present]
-            served = self.ordering.applied.copy()
-            for key in present:
-                if key in self.as_of:
-                    served.merge(self.as_of[key])
-            body = {
-                "partial": True,
-                "state": self.control.semantics_snapshot(present) if present else {},
-                "as_of": served.as_dict(),
-                "absent": absent,
-            }
-            self.control.reply(src, message.reply(mk.DEMAND_REPLY, body))
-            return
-        records = [
-            record.to_wire()
-            for record in self.log
-            if not have.includes(record.wid)
-        ]
-        self.control.reply(
-            src, message.reply(mk.DEMAND_REPLY, {"records": records})
-        )
-
-    # -- reads -------------------------------------------------------------------
-
-    def _on_read(self, src: str, message: Message) -> None:
-        invocation = decode_invocation(message.body["invocation"])
-        session = message.body.get("session", {})
-        entry = self._make_waiting(src, message, invocation, session)
-        self._admit_read(entry)
-
-    def _make_waiting(
-        self,
-        src: str,
-        request: Message,
-        invocation: MarshalledInvocation,
-        session: Dict[str, Any],
-    ) -> _WaitingRead:
-        return _WaitingRead(
-            src=src,
-            request=request,
-            invocation=invocation,
-            client_id=session.get("client_id", "anonymous"),
-            requirement=VectorClock.from_dict(session.get("requirement", {})),
-            involved=tuple(self.control.touched_keys(invocation)),
-            enqueued_at=self.control.now(),
-        )
-
-    def _admit_read(self, entry: _WaitingRead) -> None:
-        pull_on_access = (
-            self.policy.transfer_initiative is TransferInitiative.PULL
-            and self.policy.transfer_instant is TransferInstant.IMMEDIATE
-            and self.parent is not None
-        )
-        if pull_on_access and not entry.pulled:
-            self._waiting.append(entry)
-            self._demand()
-            return
-        if self._try_serve(entry):
-            return
-        self._waiting.append(entry)
-        self._react_to_blocked_read(entry)
-
-    def _react_to_blocked_read(self, entry: _WaitingRead) -> None:
-        fetch_keys = self._keys_needing_fetch(entry)
-        if fetch_keys:
-            if self.parent is not None:
-                want_full = self.policy.access_transfer is AccessTransfer.FULL
-                self._demand(keys=None if want_full else fetch_keys,
-                             want_full=want_full)
-            return
-        # Pure session-requirement gap: the client-outdate reaction decides.
-        if (
-            self.policy.client_outdate_reaction is OutdateReaction.DEMAND
-            and self.parent is not None
-        ):
-            self._demand()
-
-    def _keys_needing_fetch(self, entry: _WaitingRead) -> List[str]:
-        if self.parent is None:
-            # The primary is authoritative: a key it lacks does not exist,
-            # so the read proceeds and fails with the semantics error.
-            return []
-        involved = [k for k in entry.involved if k not in entry.absent]
-        missing = set(self.control.missing_keys(involved))
-        needed = sorted(missing | (self.invalid_keys & set(involved)))
-        return needed
-
-    def _served_version(self, involved: Sequence[str]) -> VectorClock:
-        version = self.ordering.applied.copy()
-        for key in involved:
-            if key in self.as_of:
-                version.merge(self.as_of[key])
-        return version
-
-    def _servable(self, entry: _WaitingRead) -> bool:
-        if self._keys_needing_fetch(entry):
-            return False
-        return self._served_version(entry.involved).dominates(entry.requirement)
-
-    def _try_serve(self, entry: _WaitingRead) -> bool:
-        if not self._servable(entry):
-            return False
-        served = self._served_version(entry.involved)
-        try:
-            result = self.control.apply_local(entry.invocation)
-        except Exception as exc:
-            self._reply_read_error(entry, str(exc))
-            return True
-        if self.trace is not None:
-            self.trace.record_read(
-                time=self.control.now(),
-                store=self.control.address,
-                client_id=entry.client_id,
-                served_vc=served.as_dict(),
-                requirement=entry.requirement.as_dict(),
-            )
-        body = {"result": result, "version": served.as_dict(),
-                "store": self.control.address}
-        future = getattr(entry, "request_future", None)
-        if future is not None:
-            future.set_result(body)
-        else:
-            self.counters["tx:read_reply"] += 1
-            self.control.reply(entry.src, entry.request.reply(mk.READ_REPLY, body))
-        return True
-
-    def _reply_read_error(self, entry: _WaitingRead, error: str) -> None:
-        from repro.replication.client import ReplicaError
-
-        future = getattr(entry, "request_future", None)
-        if future is not None:
-            future.set_error(ReplicaError(error))
-        else:
-            self.counters["tx:error"] += 1
-            self.control.reply(
-                entry.src, entry.request.reply(mk.ERROR, {"error": error})
-            )
-
-    def _serve_waiting(self) -> None:
-        still_waiting: List[_WaitingRead] = []
-        for entry in self._waiting:
-            if not self._try_serve(entry):
-                still_waiting.append(entry)
-        self._waiting = still_waiting
-
-    # -- introspection ---------------------------------------------------------------
+    # -- introspection ---------------------------------------------------------
 
     def version(self) -> Dict[str, int]:
         """The store's applied version vector, as a dict."""
@@ -904,4 +311,4 @@ class StoreReplicationObject(ReplicationObject):
     @property
     def waiting_reads(self) -> int:
         """Number of reads currently blocked at this store."""
-        return len(self._waiting)
+        return len(self.reads.waiting)

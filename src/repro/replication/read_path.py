@@ -1,0 +1,396 @@
+"""Read admission and demand/state transfer.
+
+One of the four protocol components behind the
+:class:`~repro.replication.engine.StoreReplicationObject` façade.  This
+component admits reads (serving them when the replica is fresh enough,
+parking them otherwise), reacts to blocked reads per the client-outdate
+reaction, issues *demands* (catch-up requests) to the parent, installs the
+full/partial/log-suffix state transfers that come back, and serves the
+downstream side of the same exchange.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.coherence.ordering import SequentialOrdering
+from repro.coherence.records import WriteRecord
+from repro.coherence.vector_clock import VectorClock
+from repro.comm.invocation import MarshalledInvocation, decode_invocation
+from repro.comm.message import Message
+from repro.replication import messages as mk
+from repro.replication.policy import (
+    AccessTransfer,
+    CoherenceTransfer,
+    OutdateReaction,
+    TransferInitiative,
+    TransferInstant,
+)
+from repro.sim.future import Future
+
+
+@dataclasses.dataclass
+class WaitingRead:
+    """A read held back until the replica can serve it."""
+
+    src: str
+    request: Message
+    invocation: MarshalledInvocation
+    client_id: str
+    requirement: VectorClock
+    involved: Sequence[str]
+    enqueued_at: float
+    #: Keys upstream reported absent; treated as present-and-missing so the
+    #: semantics object produces the authoritative not-found error.
+    absent: Set[str] = dataclasses.field(default_factory=set)
+    #: Pull-on-access (pull+immediate) completed for this read.
+    pulled: bool = False
+
+
+class ReadDemandPath:
+    """Read-admission + demand/state-transfer component of one store."""
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.waiting: List[WaitingRead] = []
+        self._demand_inflight = False
+        self._demand_again = False
+
+    # -- read admission -------------------------------------------------------
+
+    def on_read(self, src: str, message: Message) -> None:
+        """A remote client asked for a read."""
+        invocation = decode_invocation(message.body["invocation"])
+        session = message.body.get("session", {})
+        entry = self.make_waiting(src, message, invocation, session)
+        self.admit(entry)
+
+    def make_waiting(
+        self,
+        src: str,
+        request: Message,
+        invocation: MarshalledInvocation,
+        session: Dict[str, Any],
+    ) -> WaitingRead:
+        """Wrap one read request with its admission context."""
+        engine = self.engine
+        return WaitingRead(
+            src=src,
+            request=request,
+            invocation=invocation,
+            client_id=session.get("client_id", "anonymous"),
+            requirement=VectorClock.from_dict(session.get("requirement", {})),
+            involved=tuple(engine.control.touched_keys(invocation)),
+            enqueued_at=engine.control.now(),
+        )
+
+    def admit(self, entry: WaitingRead) -> None:
+        """Serve the read now, or park it and react to the block."""
+        engine = self.engine
+        pull_on_access = (
+            engine.policy.transfer_initiative is TransferInitiative.PULL
+            and engine.policy.transfer_instant is TransferInstant.IMMEDIATE
+            and engine.parent is not None
+        )
+        if pull_on_access and not entry.pulled:
+            self.waiting.append(entry)
+            self.demand()
+            return
+        if self.try_serve(entry):
+            return
+        self.waiting.append(entry)
+        self.react_to_blocked_read(entry)
+
+    def react_to_blocked_read(self, entry: WaitingRead) -> None:
+        """Fetch missing content, or apply the client-outdate reaction."""
+        engine = self.engine
+        fetch_keys = self.keys_needing_fetch(entry)
+        if fetch_keys:
+            if engine.parent is not None:
+                want_full = (
+                    engine.policy.access_transfer is AccessTransfer.FULL
+                )
+                self.demand(keys=None if want_full else fetch_keys,
+                            want_full=want_full)
+            return
+        # Pure session-requirement gap: the client-outdate reaction decides.
+        if (
+            engine.policy.client_outdate_reaction is OutdateReaction.DEMAND
+            and engine.parent is not None
+        ):
+            self.demand()
+
+    def keys_needing_fetch(self, entry: WaitingRead) -> List[str]:
+        """Involved keys whose content must be fetched before serving."""
+        engine = self.engine
+        if engine.parent is None:
+            # The primary is authoritative: a key it lacks does not exist,
+            # so the read proceeds and fails with the semantics error.
+            return []
+        involved = [k for k in entry.involved if k not in entry.absent]
+        missing = set(engine.control.missing_keys(involved))
+        return sorted(missing | (engine.invalid_keys & set(involved)))
+
+    def served_version(self, involved: Sequence[str]) -> VectorClock:
+        """The version vector a read over ``involved`` would observe."""
+        engine = self.engine
+        version = engine.ordering.applied.copy()
+        for key in involved:
+            if key in engine.as_of:
+                version.merge(engine.as_of[key])
+        return version
+
+    def servable(self, entry: WaitingRead) -> bool:
+        """Whether the replica can serve ``entry`` right now."""
+        if self.keys_needing_fetch(entry):
+            return False
+        return self.served_version(entry.involved).dominates(entry.requirement)
+
+    def try_serve(self, entry: WaitingRead) -> bool:
+        """Serve ``entry`` if admissible; returns whether it was settled."""
+        engine = self.engine
+        if not self.servable(entry):
+            return False
+        served = self.served_version(entry.involved)
+        try:
+            result = engine.control.apply_local(entry.invocation)
+        except Exception as exc:
+            self.reply_read_error(entry, str(exc))
+            return True
+        if engine.trace is not None:
+            engine.trace.record_read(
+                time=engine.control.now(),
+                store=engine.control.address,
+                client_id=entry.client_id,
+                served_vc=served.as_dict(),
+                requirement=entry.requirement.as_dict(),
+            )
+        body = {"result": result, "version": served.as_dict(),
+                "store": engine.control.address}
+        future = getattr(entry, "request_future", None)
+        if future is not None:
+            future.set_result(body)
+        else:
+            engine.counters["tx:read_reply"] += 1
+            engine.control.reply(
+                entry.src, entry.request.reply(mk.READ_REPLY, body)
+            )
+        return True
+
+    def reply_read_error(self, entry: WaitingRead, error: str) -> None:
+        """Fail one read back to its issuer."""
+        from repro.replication.client import ReplicaError
+
+        engine = self.engine
+        future = getattr(entry, "request_future", None)
+        if future is not None:
+            future.set_error(ReplicaError(error))
+        else:
+            engine.counters["tx:error"] += 1
+            engine.control.reply(
+                entry.src, entry.request.reply(mk.ERROR, {"error": error})
+            )
+
+    def serve_waiting(self) -> None:
+        """Retry every parked read against the (possibly fresher) replica."""
+        still_waiting: List[WaitingRead] = []
+        for entry in self.waiting:
+            if not self.try_serve(entry):
+                still_waiting.append(entry)
+        self.waiting = still_waiting
+
+    # -- demand / catch-up ----------------------------------------------------
+
+    def demand(
+        self,
+        keys: Optional[Sequence[str]] = None,
+        want_full: Optional[bool] = None,
+    ) -> None:
+        """Request catch-up from the parent (the ``demand`` outdate reaction).
+
+        ``keys`` asks for specific page content (access transfer on a miss
+        or invalidation); otherwise the parent sends the log suffix or a
+        snapshot, per the coherence transfer type.
+        """
+        engine = self.engine
+        if engine.parent is None:
+            return
+        if self._demand_inflight:
+            self._demand_again = True
+            return
+        if want_full is None:
+            want_full = (
+                engine.policy.coherence_transfer is CoherenceTransfer.FULL
+                if keys is None
+                else engine.policy.access_transfer is AccessTransfer.FULL
+            )
+        self._demand_inflight = True
+        body = {
+            "have": engine.ordering.applied.as_dict(),
+            "want_full": bool(want_full),
+            "keys": list(keys) if keys and not want_full else None,
+        }
+        engine.counters["tx:demand"] += 1
+        # Timeout + retries make demands survive a lossy transport: a lost
+        # demand (or reply) would otherwise wedge the inflight flag forever.
+        future = engine.control.request(
+            engine.parent,
+            Message(mk.DEMAND, body),
+            timeout=engine.demand_timeout,
+            retries=engine.demand_retries,
+        )
+        future.add_callback(self._on_demand_reply)
+
+    def _on_demand_reply(self, resolved: Future) -> None:
+        engine = self.engine
+        self._demand_inflight = False
+        try:
+            reply = resolved.result()
+        except BaseException:
+            self._schedule_redemand()
+            return
+        body = reply.body
+        if body.get("full"):
+            self.install_snapshot(body)
+            # A full snapshot is authoritative about non-existence: any
+            # involved key it lacks is absent, so blocked reads can fail
+            # with the semantics error instead of re-demanding forever.
+            state_keys = set(body.get("state", {}))
+            for entry in self.waiting:
+                entry.absent.update(set(entry.involved) - state_keys)
+        elif body.get("partial"):
+            self.install_partial(body)
+        else:
+            records = [
+                WriteRecord.from_wire(w) for w in body.get("records", ())
+            ]
+            engine.ingest_records(records, skip=engine.parent)
+        for entry in self.waiting:
+            entry.pulled = True
+        self.serve_waiting()
+        if self._demand_again:
+            self._demand_again = False
+            self.demand()
+        elif any(self._retryable(entry) for entry in self.waiting):
+            self._schedule_redemand()
+
+    def _retryable(self, entry: WaitingRead) -> bool:
+        """Whether a blocked read justifies another demand round.
+
+        Missing/invalidated content is always fetched (access semantics);
+        a pure session-requirement gap retries only under the ``demand``
+        client-outdate reaction -- under ``wait`` the read sits until a
+        push arrives.
+        """
+        engine = self.engine
+        if engine.parent is None or self.servable(entry):
+            return False
+        if self.keys_needing_fetch(entry):
+            return True
+        return engine.policy.client_outdate_reaction is OutdateReaction.DEMAND
+
+    def _schedule_redemand(self) -> None:
+        engine = self.engine
+
+        def retry() -> None:
+            if self._demand_inflight:
+                return
+            for entry in self.waiting:
+                if self._retryable(entry):
+                    self.react_to_blocked_read(entry)
+                    return
+
+        engine.control.schedule(engine.demand_retry_interval, retry)
+
+    # -- state-transfer installation ------------------------------------------
+
+    def install_snapshot(self, body: Dict[str, Any]) -> None:
+        """Install a full-state transfer, unless it would regress us."""
+        engine = self.engine
+        version = VectorClock.from_dict(body["version"])
+        if engine.ordering.applied.dominates(version) and (
+            engine.ordering.applied != version
+        ):
+            return  # strictly newer locally: never regress
+        if version == engine.ordering.applied and engine.has_full_state:
+            return  # no-op refresh
+        engine.control.semantics_restore(body["state"], partial=False)
+        engine.has_full_state = True
+        if isinstance(engine.ordering, SequentialOrdering):
+            engine.ordering.install(
+                version, next_global=body.get("next_global")
+            )
+        else:
+            engine.ordering.install(version)
+        engine.log = []
+        engine.log_base = version.copy()
+        stamp = version.copy()
+        engine.as_of = {
+            key: stamp for key in engine.control.semantics_snapshot()
+        }
+        engine.invalid_keys.clear()
+        if engine.trace is not None:
+            engine.trace.record_install(
+                engine.control.now(), engine.control.address, version.as_dict()
+            )
+        self.serve_waiting()
+
+    def install_partial(self, body: Dict[str, Any]) -> None:
+        """Install a partial (per-key) state transfer."""
+        engine = self.engine
+        state = body.get("state", {})
+        as_of = VectorClock.from_dict(body.get("as_of", {}))
+        if state:
+            engine.control.semantics_restore(state, partial=True)
+            for key in state:
+                engine.as_of[key] = as_of.copy()
+                engine.invalid_keys.discard(key)
+        absent = set(body.get("absent", ()))
+        if absent:
+            for entry in self.waiting:
+                entry.absent.update(absent & set(entry.involved))
+        self.serve_waiting()
+
+    # -- the downstream-serving side ------------------------------------------
+
+    def serve_demand(self, src: str, message: Message) -> None:
+        """Serve a downstream catch-up request."""
+        engine = self.engine
+        have = VectorClock.from_dict(message.body.get("have", {}))
+        want_full = bool(message.body.get("want_full"))
+        keys = message.body.get("keys")
+        engine.counters["tx:demand_reply"] += 1
+        if want_full or (not have.dominates(engine.log_base) and keys is None):
+            body = dict(engine.emission.snapshot_body())
+            body["full"] = True
+            engine.control.reply(src, message.reply(mk.DEMAND_REPLY, body))
+            return
+        if keys is not None:
+            present = [
+                k for k in keys if not engine.control.missing_keys([k])
+            ]
+            absent = [k for k in keys if k not in present]
+            served = engine.ordering.applied.copy()
+            for key in present:
+                if key in engine.as_of:
+                    served.merge(engine.as_of[key])
+            body = {
+                "partial": True,
+                "state": (
+                    engine.control.semantics_snapshot(present)
+                    if present else {}
+                ),
+                "as_of": served.as_dict(),
+                "absent": absent,
+            }
+            engine.control.reply(src, message.reply(mk.DEMAND_REPLY, body))
+            return
+        records = [
+            record.to_wire()
+            for record in engine.log
+            if not have.includes(record.wid)
+        ]
+        engine.control.reply(
+            src, message.reply(mk.DEMAND_REPLY, {"records": records})
+        )

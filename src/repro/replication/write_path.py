@@ -1,0 +1,216 @@
+"""The write path: accept, forward, stamp, acknowledge.
+
+One of the four protocol components behind the
+:class:`~repro.replication.engine.StoreReplicationObject` façade.  The
+write path decides where a write is *accepted* (the primary, or any store
+for eventual multi-writer objects), forwards non-local writes upstream,
+stamps accepted records (touched keys, origin, timestamp and -- for the
+sequential sequencer -- the global sequence number), enforces the
+single-writer discipline, and owns the pending-acknowledgement table that
+pairs accepted writes with the client requests awaiting them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.coherence.models import CoherenceModel
+from repro.coherence.records import WriteRecord
+from repro.coherence.vector_clock import VectorClock
+from repro.comm.invocation import MarshalledInvocation
+from repro.comm.message import Message
+from repro.core.ids import WriteId
+from repro.replication import messages as mk
+from repro.replication.policy import WriteSet
+from repro.sim.future import Future
+
+
+class WritePath:
+    """Accept/forward/stamp component of one store's protocol stack."""
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        #: Accepted-but-unacknowledged writes: wid -> (src, request, future).
+        self.pending_acks: Dict[WriteId, tuple] = {}
+        #: Per-co-located-client write sequence numbers.
+        self.local_seqnos: Dict[str, int] = {}
+        #: Next global sequence number (primary under sequential coherence).
+        self.next_global = 1
+
+    # -- inbound --------------------------------------------------------------
+
+    def on_write(self, src: str, message: Message) -> None:
+        """A client (or downstream store) submitted a write."""
+        engine = self.engine
+        record = WriteRecord.from_wire(message.body["record"])
+        session = message.body.get("session", {})
+        # Duplicate (client retry after a lost ack): acknowledge idempotently.
+        if (
+            engine.ordering.applied.includes(record.wid)
+            or record.wid in engine.ordering.seen
+        ):
+            self.ack(src, message, record.wid)
+            return
+        self.accept_or_forward(record, session, reply_src=src,
+                               request=message, future=None)
+
+    def fresh_record(
+        self, invocation: MarshalledInvocation, session: Dict[str, Any]
+    ) -> WriteRecord:
+        """Build a record for a write issued by a co-located client."""
+        client_id = session.get("client_id", "local")
+        if "wid" in session:
+            wid = WriteId.parse(session["wid"])
+        else:
+            self.local_seqnos[client_id] = (
+                self.local_seqnos.get(client_id, 0) + 1
+            )
+            wid = WriteId(client_id, self.local_seqnos[client_id])
+        deps = session.get("deps")
+        return WriteRecord(
+            wid=wid,
+            invocation=invocation,
+            deps=VectorClock.from_dict(deps) if deps else None,
+        )
+
+    # -- accept or forward ----------------------------------------------------
+
+    def accept_or_forward(
+        self,
+        record: WriteRecord,
+        session: Dict[str, Any],
+        reply_src: Optional[str],
+        request: Optional[Message],
+        future: Optional[Future],
+    ) -> None:
+        """Route one write: accept it here or relay it to the parent."""
+        engine = self.engine
+        accepts_here = engine.is_primary or (
+            engine.policy.model is CoherenceModel.EVENTUAL
+            and engine.policy.write_set is WriteSet.MULTIPLE
+        )
+        if not accepts_here:
+            self._forward(record, session, reply_src, request, future)
+            return
+        error = self.writer_check(record.wid.client_id)
+        if error is not None:
+            self.fail(reply_src, request, future, error)
+            return
+        self.stamp(record)
+        self.pending_acks[record.wid] = (reply_src, request, future)
+        before_dropped = engine.ordering.dropped
+        ready = engine.ordering.offer(record)
+        if engine.ordering.dropped > before_dropped:
+            # Superseded under FIFO/LWW: honored by being ignored.
+            if engine.trace is not None:
+                engine.trace.record_drop(
+                    engine.control.now(), engine.control.address, record.wid
+                )
+            self.settle_ack(record.wid)
+        engine.apply_records(ready)
+        engine.react_to_gap()
+
+    def _forward(
+        self,
+        record: WriteRecord,
+        session: Dict[str, Any],
+        reply_src: Optional[str],
+        request: Optional[Message],
+        future: Optional[Future],
+    ) -> None:
+        engine = self.engine
+        body = {"record": record.to_wire(), "session": session}
+        engine.counters["tx:write-forward"] += 1
+        upstream = engine.control.request(engine.parent,
+                                          Message(mk.WRITE, body))
+
+        def relay(resolved: Future) -> None:
+            try:
+                reply = resolved.result()
+            except BaseException as exc:
+                self.fail(reply_src, request, future, str(exc))
+                return
+            if reply.kind == mk.ERROR:
+                self.fail(reply_src, request, future,
+                          reply.body.get("error", "write failed"))
+                return
+            if future is not None:
+                future.set_result(reply.body)
+            elif reply_src is not None and request is not None:
+                engine.control.reply(
+                    reply_src,
+                    Message(reply.kind, dict(reply.body),
+                            reply_to=request.msg_id),
+                )
+
+        upstream.add_callback(relay)
+
+    def writer_check(self, client_id: str) -> Optional[str]:
+        """Single-writer enforcement; returns the error text, if any."""
+        engine = self.engine
+        if engine.policy.write_set is WriteSet.MULTIPLE:
+            return None
+        if engine.allowed_writer is None:
+            engine.allowed_writer = client_id
+        if client_id != engine.allowed_writer:
+            return (
+                f"single-writer object: {client_id} is not the designated "
+                f"writer {engine.allowed_writer}"
+            )
+        return None
+
+    def stamp(self, record: WriteRecord) -> None:
+        """Stamp an accepted record with local metadata."""
+        engine = self.engine
+        record.touched = tuple(engine.control.touched_keys(record.invocation))
+        record.timestamp = engine.control.now()
+        record.origin = engine.control.address
+        if (
+            engine.policy.model is CoherenceModel.SEQUENTIAL
+            and engine.is_primary
+            and record.global_seq is None
+        ):
+            record.global_seq = self.next_global
+            self.next_global += 1
+
+    # -- acknowledgement ------------------------------------------------------
+
+    def ack(self, src: Optional[str], request: Optional[Message],
+            wid: WriteId, future: Optional[Future] = None) -> None:
+        """Acknowledge one write to its submitter."""
+        engine = self.engine
+        body = {
+            "wid": str(wid),
+            "version": engine.ordering.applied.as_dict(),
+            "store": engine.control.address,
+        }
+        if future is not None:
+            future.set_result(body)
+        elif src is not None and request is not None:
+            engine.counters["tx:write_ack"] += 1
+            engine.control.reply(src, request.reply(mk.WRITE_ACK, body))
+
+    def settle_ack(self, wid: WriteId) -> None:
+        """Acknowledge a write whose fate is now decided (applied/dropped)."""
+        pending = self.pending_acks.pop(wid, None)
+        if pending is None:
+            return
+        src, request, future = pending
+        self.ack(src, request, wid, future=future)
+
+    def fail(
+        self,
+        src: Optional[str],
+        request: Optional[Message],
+        future: Optional[Future],
+        error: str,
+    ) -> None:
+        """Report one write's failure to its submitter."""
+        from repro.replication.client import ReplicaError
+
+        engine = self.engine
+        if future is not None:
+            future.set_error(ReplicaError(error))
+        elif src is not None and request is not None:
+            engine.counters["tx:error"] += 1
+            engine.control.reply(src, request.reply(mk.ERROR, {"error": error}))

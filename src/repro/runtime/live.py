@@ -14,6 +14,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional
 
+from repro.net.network import NetworkStats
 from repro.sim.rng import SeededRng
 
 
@@ -55,11 +56,29 @@ class LiveLoop:
         self._running = False
         self._thread: Optional[threading.Thread] = None
         self._epoch = time.monotonic()
+        self._busy = False
 
     @property
     def now(self) -> float:
         """Seconds since the loop was created."""
         return time.monotonic() - self._epoch
+
+    @property
+    def idle(self) -> bool:
+        """Whether only daemon (housekeeping) work remains.
+
+        True when the dispatcher is not executing a callback and no
+        non-daemon, non-cancelled event is queued.  Quiescence in wall
+        clock is observational: an in-flight datagram scheduled a moment
+        later flips this back to ``False``.
+        """
+        with self._lock:
+            if self._busy:
+                return False
+            return not any(
+                not event.daemon and not event.cancelled
+                for event in self._queue
+            )
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
                  daemon: bool = False) -> _LiveEvent:
@@ -113,8 +132,9 @@ class LiveLoop:
                     self._wakeup.wait(timeout=min(delay, 0.1))
                     continue
                 event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
+                if event.cancelled:
+                    continue
+                self._busy = True
             try:
                 event.fn(*event.args)
             except Exception:  # pragma: no cover - live-mode resilience
@@ -123,6 +143,9 @@ class LiveLoop:
                 import traceback
 
                 traceback.print_exc()
+            finally:
+                with self._lock:
+                    self._busy = False
 
 
 class LiveNetwork:
@@ -135,6 +158,7 @@ class LiveNetwork:
     def __init__(self, loop: LiveLoop, latency: float = 0.0) -> None:
         self.loop = loop
         self.latency = latency
+        self.stats = NetworkStats()
         self._handlers: Dict[str, Callable] = {}
         self._lock = threading.Lock()
 
@@ -148,14 +172,32 @@ class LiveNetwork:
         with self._lock:
             self._handlers.pop(node, None)
 
+    def is_registered(self, node: str) -> bool:
+        """Whether a node currently has a receive handler."""
+        with self._lock:
+            return node in self._handlers
+
+    @property
+    def nodes(self) -> set:
+        """The currently registered node names."""
+        with self._lock:
+            return set(self._handlers)
+
     def send(self, src: str, dst: str, payload: object,
              size_bytes: int = 0, reliable: bool = True) -> None:
         """Deliver after the configured latency, on the dispatcher."""
+        self.stats.datagrams_sent += 1
+        self.stats.bytes_sent += size_bytes
+
         def deliver() -> None:
             with self._lock:
                 handler = self._handlers.get(dst)
-            if handler is not None:
-                handler(src, payload, size_bytes)
+            if handler is None:
+                self.stats.datagrams_dropped_unregistered += 1
+                return
+            self.stats.datagrams_delivered += 1
+            self.stats.bytes_delivered += size_bytes
+            handler(src, payload, size_bytes)
 
         self.loop.schedule(self.latency, deliver)
 

@@ -49,16 +49,19 @@ class Future:
         """Resolve the future and run its callbacks synchronously."""
         if self._done:
             raise SimulationError("future already resolved")
-        self._done = True
+        # Publish the value before the done flag: the live backend polls
+        # ``done`` from another thread and must never observe a resolved
+        # future whose value is still the placeholder.
         self._value = value
+        self._done = True
         self._run_callbacks()
 
     def set_error(self, error: BaseException) -> None:
         """Fail the future and run its callbacks synchronously."""
         if self._done:
             raise SimulationError("future already resolved")
-        self._done = True
         self._error = error
+        self._done = True
         self._run_callbacks()
 
     def cancel(self) -> None:

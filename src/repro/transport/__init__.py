@@ -1,0 +1,33 @@
+"""Unified transport layer: one protocol stack, two substrates (S17).
+
+:mod:`repro.transport.interface` defines the :class:`Clock` and
+:class:`Transport` protocols that both the deterministic simulator pair
+(:class:`~repro.sim.kernel.Simulator` + :class:`~repro.net.network.Network`)
+and the wall-clock pair (:class:`~repro.runtime.live.LiveLoop` +
+:class:`~repro.runtime.live.LiveNetwork`) satisfy.
+:mod:`repro.transport.backend` bundles each pair into a :class:`Backend`
+with a uniform driving interface, selected by name via
+:func:`make_backend`.
+"""
+
+from repro.transport.backend import (
+    BACKENDS,
+    Backend,
+    BackendError,
+    LiveBackend,
+    SimBackend,
+    make_backend,
+)
+from repro.transport.interface import Clock, ReceiveHandler, Transport
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "BackendError",
+    "Clock",
+    "LiveBackend",
+    "ReceiveHandler",
+    "SimBackend",
+    "Transport",
+    "make_backend",
+]

@@ -1,0 +1,256 @@
+"""Runtime backends: one clock + one transport + a driving discipline.
+
+A :class:`Backend` bundles a concrete :class:`~repro.transport.interface.
+Clock` / :class:`~repro.transport.interface.Transport` pair with the small
+set of operations harness code needs to *drive* a deployment from outside
+the protocol thread: submit a call onto the protocol thread, block until a
+future resolves, let protocol time elapse, and run to quiescence.
+
+Two backends ship:
+
+- :class:`SimBackend` -- the deterministic discrete-event pair
+  (``Simulator`` + ``Network``); driving means stepping the event loop.
+- :class:`LiveBackend` -- the wall-clock pair (``LiveLoop`` +
+  ``LiveNetwork``); driving means enqueueing onto the dispatcher thread
+  and polling real time.
+
+Harness code written against this interface (the parity tests, the live
+sweep adapter, :func:`repro.workload.scenarios.build_tree`) runs unchanged
+on either substrate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional, Union
+
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.network import Network
+from repro.sim.future import Future
+from repro.sim.kernel import Simulator
+
+
+class BackendError(RuntimeError):
+    """Raised when a backend cannot drive the requested operation."""
+
+
+class Backend:
+    """Abstract driving interface over one clock/transport pair."""
+
+    #: Registry name ("sim" / "live"); also what ``make_backend`` accepts.
+    name: str = "abstract"
+
+    clock: Any
+    transport: Any
+
+    def start(self) -> None:
+        """Begin executing protocol events (no-op for virtual time)."""
+
+    def stop(self) -> None:
+        """Stop executing protocol events and release resources."""
+
+    def call(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn(*args)`` on the protocol thread; return its value."""
+        raise NotImplementedError
+
+    def wait(self, future: Future, timeout: Optional[float] = None) -> Any:
+        """Drive the backend until ``future`` resolves; return its result."""
+        raise NotImplementedError
+
+    def advance(self, seconds: float) -> None:
+        """Let ``seconds`` of protocol time elapse."""
+        raise NotImplementedError
+
+    def settle(self, timeout: float = 5.0, grace: float = 0.05) -> None:
+        """Drive until the protocol is quiescent (only daemon work left).
+
+        ``grace`` is wall-clock slack for the live backend, where
+        quiescence can only be observed, never proven.
+        """
+        raise NotImplementedError
+
+    def wait_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 5.0,
+    ) -> bool:
+        """Drive until ``predicate()`` holds; ``False`` on timeout."""
+        raise NotImplementedError
+
+
+class SimBackend(Backend):
+    """Virtual-time backend: deterministic, drives by stepping events."""
+
+    name = "sim"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: Union[LatencyModel, float, None] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if isinstance(latency, (int, float)):
+            latency = ConstantLatency(float(latency))
+        self.clock = Simulator(seed=seed)
+        self.transport = Network(self.clock, latency=latency,
+                                 loss_rate=loss_rate)
+
+    @property
+    def sim(self) -> Simulator:
+        """The underlying simulator (experiments drive it directly)."""
+        return self.clock
+
+    def call(self, fn: Callable[..., Any], *args: Any) -> Any:
+        # The caller's thread *is* the protocol thread in virtual time.
+        return fn(*args)
+
+    def wait(self, future: Future, timeout: Optional[float] = None) -> Any:
+        deadline = None if timeout is None else self.clock.now + timeout
+        while not future.done:
+            if deadline is not None and self.clock.now >= deadline:
+                raise BackendError(
+                    f"future unresolved after {timeout}s of virtual time"
+                )
+            if not self.clock.step():
+                raise BackendError(
+                    "event queue drained with the future unresolved"
+                )
+        return future.result()
+
+    def advance(self, seconds: float) -> None:
+        self.clock.run(until=self.clock.now + seconds)
+
+    def settle(self, timeout: float = 5.0, grace: float = 0.05) -> None:
+        self.clock.run_until_idle()
+
+    def wait_until(
+        self, predicate: Callable[[], bool], timeout: float = 5.0
+    ) -> bool:
+        deadline = self.clock.now + timeout
+        while not predicate():
+            if self.clock.now >= deadline or not self.clock.step():
+                return predicate()
+        return True
+
+
+class LiveBackend(Backend):
+    """Wall-clock backend: drives by enqueueing and polling real time."""
+
+    name = "live"
+
+    #: Poll period for wall-clock waits (seconds).
+    POLL = 0.002
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: Union[float, None] = None,
+        loss_rate: float = 0.0,
+        call_timeout: float = 10.0,
+    ) -> None:
+        # Import here: repro.runtime imports this module's siblings.
+        from repro.runtime.live import LiveLoop, LiveNetwork
+
+        if loss_rate:
+            raise BackendError(
+                "the live transport is in-process and lossless; "
+                "loss injection is a simulator feature"
+            )
+        if latency is not None and not isinstance(latency, (int, float)):
+            raise BackendError(
+                f"live latency must be a constant delay in seconds, "
+                f"got {latency!r}"
+            )
+        self.clock = LiveLoop(seed=seed)
+        self.transport = LiveNetwork(
+            self.clock, latency=0.001 if latency is None else float(latency)
+        )
+        self.call_timeout = call_timeout
+
+    def start(self) -> None:
+        self.clock.start()
+
+    def stop(self) -> None:
+        self.clock.stop()
+
+    def call(self, fn: Callable[..., Any], *args: Any) -> Any:
+        done = threading.Event()
+        box: dict = {}
+
+        def run() -> None:
+            try:
+                box["value"] = fn(*args)
+            except BaseException as exc:  # relayed to the caller below
+                box["error"] = exc
+            finally:
+                done.set()
+
+        self.clock.submit(run)
+        if not done.wait(self.call_timeout):
+            raise BackendError(
+                f"dispatcher did not run the call within {self.call_timeout}s"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    def wait(self, future: Future, timeout: Optional[float] = None) -> Any:
+        limit = self.call_timeout if timeout is None else timeout
+        deadline = time.monotonic() + limit
+        while not future.done:
+            if time.monotonic() >= deadline:
+                raise BackendError(f"future unresolved after {limit}s")
+            time.sleep(self.POLL)
+        return future.result()
+
+    def advance(self, seconds: float) -> None:
+        time.sleep(max(0.0, seconds))
+
+    def settle(self, timeout: float = 5.0, grace: float = 0.05) -> None:
+        deadline = time.monotonic() + timeout
+        while not self.clock.idle:
+            if time.monotonic() >= deadline:
+                return
+            time.sleep(self.POLL)
+        # Quiescence observed; absorb deliveries already in flight.
+        time.sleep(grace)
+
+    def wait_until(
+        self, predicate: Callable[[], bool], timeout: float = 5.0
+    ) -> bool:
+        deadline = time.monotonic() + timeout
+        while not predicate():
+            if time.monotonic() >= deadline:
+                return predicate()
+            time.sleep(self.POLL)
+        return True
+
+
+#: Buildable backends by name.
+BACKENDS = {
+    SimBackend.name: SimBackend,
+    LiveBackend.name: LiveBackend,
+}
+
+
+def make_backend(backend: Union[str, Backend], **kwargs: Any) -> Backend:
+    """Build (or pass through) a backend.
+
+    ``backend`` is a registry name (``"sim"`` / ``"live"``) or an already
+    constructed :class:`Backend`, which is returned as-is (keyword
+    arguments must then be absent).
+    """
+    if isinstance(backend, Backend):
+        if kwargs:
+            raise BackendError(
+                f"cannot reconfigure an existing backend with {sorted(kwargs)}"
+            )
+        return backend
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {backend!r}; available: {sorted(BACKENDS)}"
+        ) from None
+    return factory(**kwargs)

@@ -16,10 +16,9 @@ from repro.coherence.trace import TraceRecorder
 from repro.core.dso import BoundClient, DistributedSharedObject, Store
 from repro.core.stub import Stub
 from repro.naming.service import NameService
-from repro.net.network import Network
 from repro.replication.policy import ReplicationPolicy
 from repro.sim.future import Future
-from repro.sim.kernel import Simulator
+from repro.transport.interface import Clock, Transport
 from repro.web.document import WebDocument
 
 
@@ -73,8 +72,8 @@ class WebObject:
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        sim: Clock,
+        network: Transport,
         policy: Optional[ReplicationPolicy] = None,
         pages: Optional[Dict[str, str]] = None,
         object_id: Optional[str] = None,

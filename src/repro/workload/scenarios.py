@@ -1,20 +1,32 @@
 """Deployment builders: whole replicated-web-object systems in one call.
 
-A :class:`Deployment` bundles the simulator, network, Web object, stores
-and browsers of one experiment so harness code stays declarative.
+A :class:`Deployment` bundles the runtime backend, network, Web object,
+stores and browsers of one experiment so harness code stays declarative.
+Builders take a ``backend`` parameter -- ``"sim"`` (deterministic virtual
+time, the default) or ``"live"`` (wall-clock threads) -- and assemble the
+identical protocol stack on either substrate; driving helpers
+(:meth:`Deployment.call`, :meth:`Deployment.wait`, :meth:`Deployment.
+run_for`, :meth:`Deployment.settle`) delegate to the backend so scripted
+workloads run unchanged on both.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.coherence.models import SessionGuarantee
 from repro.core.dso import Store
 from repro.net.latency import ConstantLatency, LatencyModel
-from repro.net.network import Network
 from repro.replication.policy import ReplicationPolicy
-from repro.sim.kernel import Simulator
+from repro.sim.future import Future
+from repro.transport import (
+    Backend,
+    BackendError,
+    LiveBackend,
+    SimBackend,
+    make_backend,
+)
 from repro.web.webobject import Browser, WebObject
 
 
@@ -22,13 +34,14 @@ from repro.web.webobject import Browser, WebObject
 class Deployment:
     """One assembled system under test."""
 
-    sim: Simulator
-    network: Network
+    sim: Any  # the backend's Clock (a Simulator under backend="sim")
+    network: Any
     site: WebObject
     server: Store
     mirrors: List[Store]
     caches: List[Store]
     browsers: Dict[str, Browser]
+    backend: Optional[Backend] = None
 
     @property
     def engines(self) -> List[object]:
@@ -38,6 +51,86 @@ class Deployment:
     def store(self, address: str) -> Store:
         """Find a store by address."""
         return self.site.dso.stores[address]
+
+    # -- backend-agnostic driving ---------------------------------------------
+
+    def call(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn(*args)`` on the protocol thread; return its value."""
+        return self._backend().call(fn, *args)
+
+    def wait(self, future: Future, timeout: Optional[float] = None) -> Any:
+        """Drive the backend until ``future`` resolves; return its result."""
+        return self._backend().wait(future, timeout=timeout)
+
+    def run_for(self, seconds: float) -> None:
+        """Let ``seconds`` of protocol time elapse (virtual or real)."""
+        self._backend().advance(seconds)
+
+    def settle(self, timeout: float = 5.0) -> None:
+        """Drive until the protocol is quiescent."""
+        self._backend().settle(timeout=timeout)
+
+    def wait_until(
+        self, predicate: Callable[[], bool], timeout: float = 5.0
+    ) -> bool:
+        """Drive until ``predicate()`` holds; ``False`` on timeout."""
+        return self._backend().wait_until(predicate, timeout=timeout)
+
+    def shutdown(self) -> None:
+        """Stop the backend, then tear down every local object.
+
+        Required for live deployments (the dispatcher is a real thread);
+        harmless for simulated ones.  The backend stops *first* so no
+        dispatcher callback races the teardown of the very objects it
+        would run against -- destroy only cancels timers and unregisters
+        handlers, which is safe once no protocol thread is executing.
+        """
+        if self.backend is not None:
+            self.backend.stop()
+        for store in self.site.dso.stores.values():
+            store.local.destroy()
+        for client in self.site.dso.clients:
+            client.local.destroy()
+
+    def _backend(self) -> Backend:
+        if self.backend is None:
+            raise BackendError(
+                "this deployment was assembled without a Backend; "
+                "rebuild it through build_tree()/conference_deployment()"
+            )
+        return self.backend
+
+
+def _resolve_backend(
+    backend: Union[str, Backend],
+    seed: int,
+    latency: Optional[LatencyModel],
+    live_latency: float,
+    loss_rate: float,
+) -> Backend:
+    """Resolve the builder's backend argument into a Backend instance.
+
+    A prebuilt :class:`Backend` is used as-is -- its own seed, latency
+    and loss settings apply; the builder's are ignored.
+    """
+    if isinstance(backend, Backend):
+        return backend
+    if backend == SimBackend.name:
+        return make_backend(
+            "sim",
+            seed=seed,
+            latency=latency or ConstantLatency(0.05),
+            loss_rate=loss_rate,
+        )
+    if backend == LiveBackend.name:
+        if latency is not None:
+            raise BackendError(
+                "the live backend takes live_latency (a constant delay in "
+                "seconds), not a simulator LatencyModel"
+            )
+        return make_backend("live", seed=seed, latency=live_latency,
+                            loss_rate=loss_rate)
+    return make_backend(backend)  # raises the canonical unknown-name error
 
 
 def build_tree(
@@ -53,6 +146,9 @@ def build_tree(
     designated_writer: Optional[str] = "master",
     master_guarantees=(SessionGuarantee.READ_YOUR_WRITES,),
     reader_guarantees=(),
+    backend: Union[str, Backend] = "sim",
+    live_latency: float = 0.005,
+    start_backend: bool = True,
 ) -> Deployment:
     """Build the canonical Fig. 2 tree.
 
@@ -62,13 +158,23 @@ def build_tree(
     there are no mirrors); one master client writing to the server and
     reading from the first cache; ``n_readers_per_cache`` reader clients
     per cache.
+
+    ``backend`` selects the substrate: ``"sim"`` assembles the system on
+    the deterministic simulator, ``"live"`` on the wall-clock runtime
+    (with ``live_latency`` seconds of in-process delivery delay); an
+    already constructed :class:`~repro.transport.Backend` is used as-is
+    (its own seed/latency/loss settings apply, not the builder's).  The
+    live dispatcher is started before this function returns unless
+    ``start_backend`` is false (builders that wire more address spaces
+    on top pass ``False`` and start the backend themselves); callers own
+    the teardown via :meth:`Deployment.shutdown`.
     """
-    sim = Simulator(seed=seed)
-    network = Network(sim, latency=latency or ConstantLatency(0.05),
-                      loss_rate=loss_rate)
+    backend_obj = _resolve_backend(backend, seed, latency, live_latency,
+                                   loss_rate)
+    clock, transport = backend_obj.clock, backend_obj.transport
     site = WebObject(
-        sim,
-        network,
+        clock,
+        transport,
         policy=policy,
         pages=pages or {"index.html": "<h1>home</h1>"},
         designated_writer=designated_writer,
@@ -102,25 +208,33 @@ def build_tree(
                 read_store=cache.address,
                 guarantees=reader_guarantees,
             )
+    # Start executing protocol events only once the whole tree is wired,
+    # so live deployments assemble without racing their own traffic.
+    if start_backend:
+        backend_obj.start()
     return Deployment(
-        sim=sim,
-        network=network,
+        sim=clock,
+        network=transport,
         site=site,
         server=server,
         mirrors=mirrors,
         caches=caches,
         browsers=browsers,
+        backend=backend_obj,
     )
 
 
-def conference_deployment(seed: int = 0,
-                          lazy_interval: float = 5.0) -> Deployment:
+def conference_deployment(
+    seed: int = 0,
+    lazy_interval: float = 5.0,
+    backend: Union[str, Backend] = "sim",
+) -> Deployment:
     """The paper's Section 4 system, exactly (Fig. 3).
 
     One Web server (permanent store), the master's cache and the user's
     cache (client-initiated stores), client M writing directly to the
     server with RYW, client U reading from its cache with no client-based
-    model, Table 2 policy values.
+    model, Table 2 policy values.  Runs on either backend.
     """
     policy = ReplicationPolicy.conference_example()
     policy.lazy_interval = lazy_interval
@@ -139,6 +253,8 @@ def conference_deployment(seed: int = 0,
         pages=pages,
         seed=seed,
         designated_writer="master",
+        backend=backend,
+        start_backend=False,
     )
     site = deployment.site
     deployment.browsers["user"] = site.bind_browser(
@@ -147,4 +263,6 @@ def conference_deployment(seed: int = 0,
         read_store="cache-1",
         guarantees=(),
     )
+    # All address spaces are wired; only now may protocol events execute.
+    deployment.backend.start()
     return deployment

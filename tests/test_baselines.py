@@ -1,7 +1,5 @@
 """Tests for the classical Web-caching baseline stack."""
 
-import pytest
-
 from repro.baselines.browser import HttpBrowser
 from repro.baselines.origin import HttpOrigin
 from repro.baselines.proxy import CacheMode, HttpProxy

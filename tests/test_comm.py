@@ -6,7 +6,6 @@ from hypothesis import given, strategies as st
 from repro.comm.endpoint import CommunicationObject, RequestTimeout
 from repro.comm.invocation import (
     InvocationCodecError,
-    MarshalledInvocation,
     decode_invocation,
     encode_invocation,
 )

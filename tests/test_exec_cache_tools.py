@@ -1,0 +1,120 @@
+"""Tests for cache maintenance and the single-run cache port."""
+
+import argparse
+
+from repro.exec import (
+    ResultCache,
+    add_exec_arguments,
+    apply_cache_maintenance,
+    run_cached_single,
+)
+
+
+def fabricate(root, fingerprint, name="spec", payload=b"x"):
+    tree = root / fingerprint / name
+    tree.mkdir(parents=True, exist_ok=True)
+    (tree / "entry.pkl").write_bytes(payload)
+
+
+class TestEviction:
+    def test_evict_stale_keeps_current_fingerprint(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fabricate(tmp_path, cache.fingerprint)
+        fabricate(tmp_path, "deadbeefdeadbeef")
+        fabricate(tmp_path, "0123456789abcdef")
+        assert cache.evict_stale() == 2
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            cache.fingerprint
+        ]
+        # Idempotent.
+        assert cache.evict_stale() == 0
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fabricate(tmp_path, cache.fingerprint)
+        fabricate(tmp_path, "deadbeefdeadbeef")
+        assert cache.clear() == 2
+        assert list(tmp_path.iterdir()) == []
+        assert cache.clear() == 0
+
+    def test_missing_root_is_harmless(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.evict_stale() == 0
+        assert cache.clear() == 0
+
+
+class TestCliMaintenance:
+    def parse(self, argv):
+        parser = argparse.ArgumentParser()
+        add_exec_arguments(parser)
+        return parser.parse_args(argv)
+
+    def test_no_cache_dir_no_maintenance(self):
+        assert apply_cache_maintenance(self.parse([])) is None
+
+    def test_cache_clear_without_cache_dir_warns(self):
+        summary = apply_cache_maintenance(self.parse(["--cache-clear"]))
+        assert "no effect" in summary
+
+    def test_stale_eviction_is_automatic(self, tmp_path):
+        fabricate(tmp_path, "deadbeefdeadbeef")
+        summary = apply_cache_maintenance(
+            self.parse(["--cache-dir", str(tmp_path)])
+        )
+        assert "stale" in summary
+        assert list(tmp_path.iterdir()) == []
+
+    def test_cache_clear_wipes_all(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fabricate(tmp_path, cache.fingerprint)
+        summary = apply_cache_maintenance(
+            self.parse(["--cache-dir", str(tmp_path), "--cache-clear"])
+        )
+        assert "cleared" in summary
+        assert list(tmp_path.iterdir()) == []
+
+
+def _stateful_point(config, seed):
+    # A deliberately impure point: proves the second call is a cache hit.
+    _CALLS.append(config["tag"])
+    return {"tag": config["tag"], "calls": len(_CALLS)}
+
+
+_CALLS = []
+
+
+class TestSingleRunCaching:
+    def test_run_cached_single_hits_cache(self, tmp_path):
+        _CALLS.clear()
+        first = run_cached_single("single", _stateful_point, {"tag": "a"},
+                                  cache_dir=tmp_path)
+        again = run_cached_single("single", _stateful_point, {"tag": "a"},
+                                  cache_dir=tmp_path)
+        assert first == again == {"tag": "a", "calls": 1}
+        assert _CALLS == ["a"]
+        # A different config is a different cache key.
+        other = run_cached_single("single", _stateful_point, {"tag": "b"},
+                                  cache_dir=tmp_path)
+        assert other["tag"] == "b"
+        assert _CALLS == ["a", "b"]
+
+    def test_without_cache_dir_runs_inline(self):
+        _CALLS.clear()
+        run_cached_single("single", _stateful_point, {"tag": "c"})
+        run_cached_single("single", _stateful_point, {"tag": "c"})
+        assert _CALLS == ["c", "c"]
+
+
+class TestPortedExperimentsCache:
+    def test_figure_experiment_round_trips_the_cache(self, tmp_path):
+        from repro.experiments.conference import run_conference
+
+        cold = run_conference(seed=1, updates=3, reads=3,
+                              cache_dir=str(tmp_path))
+        warm = run_conference(seed=1, updates=3, reads=3,
+                              cache_dir=str(tmp_path))
+        assert cold.render() == warm.render()
+        assert warm.data["converged"]
+        # And the ported runner matches the pre-port (uncached) output.
+        direct = run_conference(seed=1, updates=3, reads=3)
+        assert direct.render() == cold.render()

@@ -5,8 +5,6 @@ qualitative *shape* the paper argues for (who wins, in which regime),
 not absolute numbers.
 """
 
-import pytest
-
 from repro.experiments.conference import run_conference, run_fig4_wid_flow
 from repro.experiments.endtoend import run_endtoend
 from repro.experiments.figures import run_fig1, run_fig2

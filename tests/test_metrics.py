@@ -5,7 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.coherence.trace import TraceRecorder
 from repro.core.ids import WriteId
-from repro.metrics.report import Summary, percentile, summarize
+from repro.metrics.report import percentile, summarize
 from repro.metrics.staleness import read_staleness, staleness_summary
 from repro.metrics.tables import render_table
 from repro.metrics.traffic import collect_traffic

@@ -1,16 +1,12 @@
 """End-to-end integration tests: each object-based coherence model run on a
 real deployment and verified by its trace checker."""
 
-import pytest
-
 from repro.coherence import checkers
 from repro.coherence.models import CoherenceModel
 from repro.net.latency import ConstantLatency, UniformLatency
 from repro.net.network import Network
 from repro.replication.policy import (
-    AccessTransfer,
     CoherenceTransfer,
-    OutdateReaction,
     ReplicationPolicy,
     WriteSet,
 )

@@ -1,0 +1,88 @@
+"""Golden sim/live parity: one scenario, two substrates, one behaviour.
+
+The acceptance claim of the transport refactor: the same ``Deployment``
+scenario, driven by the same synchronous script under a fixed seed,
+produces the identical coherence trace (time-free signature) and final
+``version()`` on the deterministic simulator and on the wall-clock
+runtime.  The canonical script lives in
+:func:`repro.exec.live.live_smoke_point` -- the X9 experiment and the
+live-sweep adapter run the very same code, so this test pins exactly the
+claim they report.
+"""
+
+import pytest
+
+from repro.exec.live import live_smoke_point
+from repro.replication.policy import ReplicationPolicy
+from repro.workload.scenarios import build_tree
+
+SEED = 7
+
+
+class TestGoldenParity:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        config = {"writes": 3, "n_caches": 2, "seed": SEED}
+        return {
+            backend: live_smoke_point(dict(config, backend=backend), seed=0)
+            for backend in ("sim", "live")
+        }
+
+    def test_both_backends_converge_and_serve(self, outcomes):
+        for backend, outcome in outcomes.items():
+            assert outcome["converged"], f"{backend}: convergence gate failed"
+            assert outcome["reads_ok"] == 2, f"{backend}: stale reads"
+
+    def test_final_versions_identical(self, outcomes):
+        assert outcomes["sim"]["versions"] == outcomes["live"]["versions"]
+        assert all(
+            version == {"master": 3}
+            for version in outcomes["sim"]["versions"].values()
+        )
+
+    def test_coherence_signatures_identical(self, outcomes):
+        sim_signature = outcomes["sim"]["signature"]
+        live_signature = outcomes["live"]["signature"]
+        assert sorted(sim_signature) == sorted(live_signature)
+        for lane in sim_signature:
+            assert sim_signature[lane] == live_signature[lane], (
+                f"coherence trace diverged between backends in lane {lane}"
+            )
+
+
+class TestDeploymentDriving:
+    """The backend-agnostic Deployment helpers themselves, on both
+    substrates (the smoke point exercises them only indirectly)."""
+
+    @pytest.mark.parametrize("backend", ["sim", "live"])
+    def test_call_wait_and_wait_until(self, backend):
+        deployment = build_tree(
+            policy=ReplicationPolicy(),
+            n_caches=1,
+            n_readers_per_cache=1,
+            pages={"index.html": "<h1>drive</h1>"},
+            seed=SEED,
+            backend=backend,
+        )
+        try:
+            master = deployment.browsers["master"]
+            future = deployment.call(
+                master.write_page, "index.html", "<h1>driven</h1>"
+            )
+            wid = deployment.wait(future, timeout=10.0)
+            assert (wid.client_id, wid.seqno) == ("master", 1)
+            assert deployment.wait_until(
+                lambda: all(
+                    engine.version().get("master", 0) == 1
+                    for engine in deployment.engines
+                ),
+                timeout=10.0,
+            )
+            read = deployment.call(
+                deployment.browsers["reader-0-0"].read_page, "index.html"
+            )
+            assert deployment.wait(read, timeout=10.0)["content"] == (
+                "<h1>driven</h1>"
+            )
+        finally:
+            deployment.shutdown()

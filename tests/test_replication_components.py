@@ -1,0 +1,267 @@
+"""Unit tests for the four extracted replication protocol components.
+
+The engine façade is integration-tested by ``test_engine_*``; these tests
+pin each component's own contract -- write path, read/demand path,
+propagation strategy and coherence emitter -- against a real composition
+on the simulator.
+"""
+
+from repro.coherence.models import CoherenceModel
+from repro.coherence.records import WriteRecord
+from repro.comm.invocation import MarshalledInvocation
+from repro.core.ids import WriteId
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.replication.emission import CoherenceEmitter
+from repro.replication.policy import (
+    CoherenceTransfer,
+    Propagation,
+    ReplicationPolicy,
+    TransferInitiative,
+    TransferInstant,
+    WriteSet,
+)
+from repro.replication.propagation import PropagationStrategy
+from repro.replication.read_path import ReadDemandPath
+from repro.replication.write_path import WritePath
+from repro.sim.kernel import Simulator
+from repro.web.webobject import WebObject
+
+
+def build(policy=None, seed=1, pages=None, writer=None, **kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=ConstantLatency(0.02))
+    site = WebObject(sim, net, policy=policy,
+                     pages=pages or {"index.html": "seed"},
+                     designated_writer=writer, **kwargs)
+    return sim, net, site
+
+
+def write_record(client="w", seqno=1, page="index.html", content="x"):
+    return WriteRecord(
+        wid=WriteId(client, seqno),
+        invocation=MarshalledInvocation(
+            "write_page", (page, content), read_only=False
+        ),
+    )
+
+
+class TestComposition:
+    def test_engine_exposes_all_four_components(self):
+        _, _, site = build()
+        engine = site.create_server("server").engine
+        assert isinstance(engine.writes, WritePath)
+        assert isinstance(engine.reads, ReadDemandPath)
+        assert isinstance(engine.propagation, PropagationStrategy)
+        assert isinstance(engine.emission, CoherenceEmitter)
+        # Every component shares the façade's replica state.
+        for component in (engine.writes, engine.reads,
+                          engine.propagation, engine.emission):
+            assert component.engine is engine
+
+
+class TestWritePath:
+    def test_writer_check_locks_to_first_writer(self):
+        _, _, site = build()  # single write set, no designated writer
+        engine = site.create_server("server").engine
+        assert engine.writes.writer_check("alice") is None
+        assert engine.allowed_writer == "alice"
+        error = engine.writes.writer_check("bob")
+        assert error is not None and "alice" in error
+
+    def test_writer_check_multiple_writers_always_pass(self):
+        policy = ReplicationPolicy(model=CoherenceModel.EVENTUAL,
+                                   write_set=WriteSet.MULTIPLE)
+        _, _, site = build(policy=policy)
+        engine = site.create_server("server").engine
+        assert engine.writes.writer_check("alice") is None
+        assert engine.writes.writer_check("bob") is None
+
+    def test_stamp_fills_metadata(self):
+        sim, _, site = build()
+        engine = site.create_server("server").engine
+        record = write_record()
+        engine.writes.stamp(record)
+        assert record.touched == ("index.html",)
+        assert record.origin == "server"
+        assert record.timestamp == sim.now
+        assert record.global_seq is None  # PRAM: no sequencer
+
+    def test_stamp_sequences_at_sequential_primary(self):
+        policy = ReplicationPolicy(model=CoherenceModel.SEQUENTIAL)
+        _, _, site = build(policy=policy)
+        engine = site.create_server("server").engine
+        first, second = write_record(seqno=1), write_record(seqno=2)
+        engine.writes.stamp(first)
+        engine.writes.stamp(second)
+        assert (first.global_seq, second.global_seq) == (1, 2)
+        assert engine.writes.next_global == 3
+
+    def test_fresh_record_mints_per_client_seqnos(self):
+        _, _, site = build()
+        engine = site.create_server("server").engine
+        invocation = MarshalledInvocation("write_page", ("p", "v"),
+                                          read_only=False)
+        first = engine.writes.fresh_record(invocation, {"client_id": "a"})
+        second = engine.writes.fresh_record(invocation, {"client_id": "a"})
+        other = engine.writes.fresh_record(invocation, {"client_id": "b"})
+        assert (first.wid.seqno, second.wid.seqno, other.wid.seqno) == (1, 2, 1)
+
+
+class TestReadDemandPath:
+    def test_primary_never_needs_fetch(self):
+        _, _, site = build()
+        engine = site.create_server("server").engine
+        entry = engine.reads.make_waiting(
+            "space", None,
+            MarshalledInvocation("read_page", ("ghost.html",)), {},
+        )
+        assert engine.reads.keys_needing_fetch(entry) == []
+
+    def test_cache_reports_missing_and_invalid_keys(self):
+        sim, _, site = build()
+        site.create_server("server")
+        cache_engine = site.create_cache("cache").engine
+        entry = cache_engine.reads.make_waiting(
+            "space", None,
+            MarshalledInvocation("read_page", ("index.html",)), {},
+        )
+        assert cache_engine.reads.keys_needing_fetch(entry) == ["index.html"]
+        # Absent-marked keys are excluded: the semantics error is final.
+        entry.absent.add("index.html")
+        assert cache_engine.reads.keys_needing_fetch(entry) == []
+
+    def test_served_version_merges_per_key_freshness(self):
+        sim, _, site = build()
+        engine = site.create_server("server").engine
+        client = site.bind_browser("c-space", "m", read_store="server")
+        from tests.conftest import resolve
+
+        resolve(sim, client.write_page("index.html", "v1"))
+        served = engine.reads.served_version(("index.html",))
+        assert served.as_dict() == {"m": 1}
+
+    def test_demand_at_primary_is_a_no_op(self):
+        _, _, site = build()
+        engine = site.create_server("server").engine
+        engine.reads.demand()
+        assert engine.counters["tx:demand"] == 0
+
+    def test_demand_coalesces_while_inflight(self):
+        sim, _, site = build()
+        site.create_server("server")
+        cache_engine = site.create_cache("cache").engine
+        cache_engine.reads.demand()
+        cache_engine.reads.demand()  # inflight: queued, not sent
+        assert cache_engine.counters["tx:demand"] == 1
+        sim.run_until_idle()
+        # The queued round fires after the first reply lands.
+        assert cache_engine.counters["tx:demand"] == 2
+
+
+class TestPropagationStrategy:
+    def test_aggregate_keeps_only_last_write_per_key_under_fifo(self):
+        policy = ReplicationPolicy(model=CoherenceModel.FIFO)
+        _, _, site = build(policy=policy)
+        engine = site.create_server("server").engine
+        records = [write_record(seqno=1), write_record(seqno=2),
+                   write_record(seqno=3, page="other.html")]
+        for record in records:
+            engine.writes.stamp(record)
+        aggregated = engine.propagation.aggregate(records)
+        assert [r.wid.seqno for r in aggregated] == [2, 3]
+
+    def test_aggregate_preserves_order_sensitive_models(self):
+        _, _, site = build()  # PRAM: every write matters
+        engine = site.create_server("server").engine
+        records = [write_record(seqno=1), write_record(seqno=2)]
+        for record in records:
+            engine.writes.stamp(record)
+        assert engine.propagation.aggregate(records) == records
+
+    def test_lazy_instant_buffers_until_flush(self):
+        policy = ReplicationPolicy(transfer_instant=TransferInstant.LAZY,
+                                   lazy_interval=2.0)
+        sim, _, site = build(policy=policy, writer="m")
+        server = site.create_server("server")
+        site.create_cache("cache")
+        client = site.bind_browser("c-space", "m", read_store="server")
+        from tests.conftest import settle
+
+        settle(sim, client.write_page("index.html", "v1"))
+        assert len(server.engine.propagation.pending_lazy) == 1
+        assert server.engine.counters["tx:update"] == 0
+        sim.run(until=sim.now + 2.5)
+        assert server.engine.propagation.pending_lazy == []
+        assert server.engine.counters["tx:update_full"] == 1
+
+    def test_pull_initiative_never_pushes(self):
+        policy = ReplicationPolicy(
+            transfer_initiative=TransferInitiative.PULL,
+            transfer_instant=TransferInstant.LAZY,
+            lazy_interval=60.0,
+        )
+        sim, _, site = build(policy=policy, writer="m")
+        server = site.create_server("server")
+        site.create_cache("cache")
+        client = site.bind_browser("c-space", "m", read_store="server")
+        from tests.conftest import resolve
+
+        resolve(sim, client.write_page("index.html", "v1"))
+        assert server.engine.counters["tx:update"] == 0
+        assert server.engine.counters["tx:update_full"] == 0
+
+
+class TestCoherenceEmitter:
+    def emit(self, policy, n_children=2):
+        sim, _, site = build(policy=policy, writer="m")
+        server = site.create_server("server")
+        for index in range(n_children):
+            site.create_cache(f"cache-{index}")
+        client = site.bind_browser("c-space", "m", read_store="server")
+        from tests.conftest import resolve
+
+        resolve(sim, client.write_page("index.html", "v1"))
+        return server.engine
+
+    def test_notification_transfer_sends_notify(self):
+        engine = self.emit(ReplicationPolicy(
+            coherence_transfer=CoherenceTransfer.NOTIFICATION))
+        assert engine.counters["tx:notify"] == 2
+        assert engine.counters["tx:update"] == 0
+
+    def test_invalidate_partial_names_touched_keys(self):
+        engine = self.emit(ReplicationPolicy(
+            propagation=Propagation.INVALIDATE,
+            coherence_transfer=CoherenceTransfer.PARTIAL))
+        assert engine.counters["tx:invalidate"] == 2
+
+    def test_full_transfer_ships_snapshots(self):
+        engine = self.emit(ReplicationPolicy(
+            coherence_transfer=CoherenceTransfer.FULL))
+        assert engine.counters["tx:update_full"] == 2
+        body = engine.emission.snapshot_body()
+        assert set(body) == {"state", "version"}
+        assert "index.html" in body["state"]
+
+    def test_partial_update_ships_record_batches(self):
+        engine = self.emit(ReplicationPolicy(
+            coherence_transfer=CoherenceTransfer.PARTIAL))
+        assert engine.counters["tx:update"] == 2
+
+    def test_sequential_snapshot_carries_sequencer_state(self):
+        engine = self.emit(ReplicationPolicy(
+            model=CoherenceModel.SEQUENTIAL,
+            coherence_transfer=CoherenceTransfer.FULL))
+        assert "next_global" in engine.emission.snapshot_body()
+
+
+class TestFacadeSurface:
+    def test_compat_delegators_still_work(self):
+        sim, _, site = build()
+        site.create_server("server")
+        cache = site.create_cache("cache")
+        cache.sync_full()  # engine.reads.demand under the hood
+        sim.run_until_idle()
+        assert cache.engine.counters["tx:demand"] == 1
+        assert cache.state()["index.html"]["content"] == "seed"

@@ -1,8 +1,6 @@
 """End-to-end tests for the four client-based coherence models, enforced
 against a lazily-propagating object (where they actually bite)."""
 
-import pytest
-
 from repro.coherence import checkers
 from repro.coherence.models import CoherenceModel, SessionGuarantee
 from repro.net.latency import ConstantLatency

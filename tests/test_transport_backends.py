@@ -1,0 +1,158 @@
+"""Tests for the unified transport layer: protocols and backends."""
+
+import pytest
+
+from repro.net.network import Network
+from repro.runtime.live import LiveLoop, LiveNetwork
+from repro.sim.future import Future
+from repro.sim.kernel import Simulator
+from repro.transport import (
+    Backend,
+    BackendError,
+    Clock,
+    LiveBackend,
+    SimBackend,
+    Transport,
+    make_backend,
+)
+
+
+class TestProtocolConformance:
+    def test_simulated_pair_satisfies_protocols(self):
+        sim = Simulator(seed=1)
+        assert isinstance(sim, Clock)
+        assert isinstance(Network(sim), Transport)
+
+    def test_live_pair_satisfies_protocols(self):
+        loop = LiveLoop(seed=1)
+        assert isinstance(loop, Clock)
+        assert isinstance(LiveNetwork(loop), Transport)
+
+
+class TestMakeBackend:
+    def test_by_name(self):
+        assert isinstance(make_backend("sim"), SimBackend)
+        assert isinstance(make_backend("live"), LiveBackend)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            make_backend("quantum")
+
+    def test_instance_passthrough(self):
+        backend = SimBackend(seed=3)
+        assert make_backend(backend) is backend
+        with pytest.raises(BackendError, match="reconfigure"):
+            make_backend(backend, seed=4)
+
+    def test_live_rejects_loss_injection(self):
+        with pytest.raises(BackendError, match="lossless"):
+            make_backend("live", loss_rate=0.1)
+
+
+class TestSimBackend:
+    def test_call_runs_inline(self):
+        backend = SimBackend()
+        assert backend.call(lambda a, b: a + b, 2, 3) == 5
+
+    def test_wait_steps_until_future_resolves(self):
+        backend = SimBackend()
+        future = Future()
+        backend.clock.schedule(1.5, future.set_result, "late")
+        assert backend.wait(future) == "late"
+        assert backend.clock.now == pytest.approx(1.5)
+
+    def test_wait_on_drained_queue_raises(self):
+        backend = SimBackend()
+        with pytest.raises(BackendError, match="drained"):
+            backend.wait(Future())
+
+    def test_advance_moves_virtual_clock(self):
+        backend = SimBackend()
+        backend.advance(4.0)
+        assert backend.clock.now == pytest.approx(4.0)
+
+    def test_wait_until_steps_to_predicate(self):
+        backend = SimBackend()
+        fired = []
+        backend.clock.schedule(0.5, fired.append, 1)
+        assert backend.wait_until(lambda: fired, timeout=2.0)
+        assert not backend.wait_until(lambda: len(fired) > 1, timeout=1.0)
+
+
+class TestLiveBackend:
+    @pytest.fixture
+    def backend(self):
+        backend = LiveBackend(seed=1)
+        backend.start()
+        yield backend
+        backend.stop()
+
+    def test_call_runs_on_dispatcher_and_returns(self, backend):
+        import threading
+
+        names = backend.call(lambda: threading.current_thread().name)
+        assert names == "repro-live-loop"
+
+    def test_call_relays_exceptions(self, backend):
+        def boom():
+            raise ValueError("from the dispatcher")
+
+        with pytest.raises(ValueError, match="from the dispatcher"):
+            backend.call(boom)
+
+    def test_wait_polls_wall_clock(self, backend):
+        future = Future()
+        backend.clock.schedule(0.02, future.set_result, "tick")
+        assert backend.wait(future, timeout=2.0) == "tick"
+
+    def test_wait_timeout_raises(self, backend):
+        with pytest.raises(BackendError, match="unresolved"):
+            backend.wait(Future(), timeout=0.05)
+
+    def test_settle_observes_quiescence(self, backend):
+        fired = []
+        backend.clock.schedule(0.03, fired.append, 1)
+        backend.settle(timeout=2.0)
+        assert fired == [1]
+
+    def test_backend_is_a_backend(self, backend):
+        assert isinstance(backend, Backend)
+
+
+class TestLiveNetworkStats:
+    def test_delivery_counts(self):
+        loop = LiveLoop(seed=1)
+        loop.start()
+        try:
+            net = LiveNetwork(loop, latency=0.0)
+            received = []
+            net.register("b", lambda src, payload, size: received.append(payload))
+            net.send("a", "b", "hello", size_bytes=5)
+            net.send("a", "nowhere", "lost", size_bytes=4)
+            backend = LiveBackend.__new__(LiveBackend)  # reuse the poller
+            backend.clock = loop
+            backend.call_timeout = 2.0
+            assert backend.wait_until(lambda: received == ["hello"], 2.0)
+            assert backend.wait_until(
+                lambda: net.stats.datagrams_dropped_unregistered == 1, 2.0
+            )
+            assert net.stats.datagrams_sent == 2
+            assert net.stats.datagrams_delivered == 1
+            assert net.stats.bytes_sent == 9
+            assert net.stats.bytes_delivered == 5
+            assert net.is_registered("b") and not net.is_registered("a")
+            assert net.nodes == {"b"}
+        finally:
+            loop.stop()
+
+    def test_loop_idle_flag(self):
+        loop = LiveLoop(seed=1)
+        loop.start()
+        try:
+            assert loop.idle
+            loop.schedule(0.5, lambda: None)
+            assert not loop.idle
+            loop.schedule(0.5, lambda: None, daemon=True)
+            # Daemon housekeeping alone never blocks quiescence.
+        finally:
+            loop.stop()

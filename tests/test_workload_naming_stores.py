@@ -3,7 +3,7 @@
 import pytest
 
 from repro.naming.service import NameService, UnknownObject
-from repro.net.latency import ConstantLatency, RegionalLatency
+from repro.net.latency import RegionalLatency
 from repro.replication.policy import ReplicationPolicy
 from repro.sim.rng import SeededRng
 from repro.stores.hierarchy import describe_hierarchy
