@@ -1,0 +1,26 @@
+"""X10: the Table-1 cross-product grid behind the results book.
+
+Runs the small grid through the cached parallel runner and asserts the
+qualitative shape the book's heat maps show: invalidation trades bytes
+for staleness, update push stays fresh, and wire traffic grows with the
+tree.
+"""
+
+from benchmarks.conftest import emit, run_sweep_once
+from repro.experiments.table1_grid import run_table1_grid
+
+
+def test_bench_x10_table1_grid(benchmark):
+    result = run_sweep_once(benchmark, run_table1_grid, grid="table1-small")
+    emit(result)
+    tables = result.data["tables"]
+    wire, stale = tables["wire_kb"], tables["stale_fraction"]
+    # Invalidation ships less than update push under a write-heavy mix...
+    assert wire.cell("push-invalidate", ("write-heavy", 4)).mean < \
+        wire.cell("push-update", ("write-heavy", 4)).mean
+    # ...but pays for it in staleness, which update push never does.
+    assert stale.cell("push-invalidate", ("read-heavy", 4)).mean > 0.0
+    assert stale.cell("push-update", ("read-heavy", 4)).mean == 0.0
+    # Wire traffic grows with the tree at fixed policy and workload.
+    assert wire.cell("push-update", ("read-heavy", 4)).mean > \
+        wire.cell("push-update", ("read-heavy", 2)).mean

@@ -29,6 +29,7 @@ from repro.exec.cli import (
 )
 from repro.exec.runner import (
     SweepPointError,
+    cached_point_labels,
     default_parallelism,
     run_sweep,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "SweepSpec",
     "add_exec_arguments",
     "apply_cache_maintenance",
+    "cached_point_labels",
     "code_fingerprint",
     "config_hash",
     "default_parallelism",

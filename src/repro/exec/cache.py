@@ -18,7 +18,7 @@ import pickle
 import shutil
 import tempfile
 from pathlib import Path
-from typing import Any, Callable, Mapping, Optional, Tuple
+from typing import Any, Callable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.exec.seeding import config_blob
 
@@ -93,6 +93,17 @@ class ResultCache:
         )
         return self.root / self.fingerprint / safe_name / f"{key}.pkl"
 
+    def has(self, spec_name: str, base_seed: int,
+            config: Mapping[str, Any], fn_key: str = "",
+            point_seed: int = 0) -> bool:
+        """Whether an entry exists, without unpickling it.
+
+        A pure existence probe (no counters move): coverage reporting
+        over a large grid should not deserialize every stored result.
+        """
+        return self._path(spec_name, base_seed, config, fn_key,
+                          point_seed).is_file()
+
     def get(self, spec_name: str, base_seed: int,
             config: Mapping[str, Any], fn_key: str = "",
             point_seed: int = 0) -> Tuple[bool, Any]:
@@ -131,6 +142,42 @@ class ResultCache:
                 pass
             raise
         self.writes += 1
+
+    # -- introspection --------------------------------------------------------
+
+    def spec_names(self) -> List[str]:
+        """Sweep names with at least one entry under the current code.
+
+        Names come back as their filesystem-safe forms (the cache never
+        stores the raw name), sorted for deterministic output.
+        """
+        tree = self.root / self.fingerprint
+        if not tree.is_dir():
+            return []
+        return sorted(
+            entry.name for entry in tree.iterdir()
+            if entry.is_dir() and any(entry.glob("*.pkl"))
+        )
+
+    def iter_entries(self, spec_name: Optional[str] = None
+                     ) -> Iterator[Tuple[str, Path]]:
+        """Yield ``(spec name, entry path)`` for current-code entries.
+
+        ``spec_name`` (filesystem-safe form) restricts iteration to one
+        sweep.  Entries under other code fingerprints are never yielded:
+        they can never be served again.  Order is deterministic (sorted
+        by name then path).
+        """
+        for name in self.spec_names():
+            if spec_name is not None and name != spec_name:
+                continue
+            for path in sorted((self.root / self.fingerprint / name)
+                               .glob("*.pkl")):
+                yield name, path
+
+    def entry_count(self, spec_name: Optional[str] = None) -> int:
+        """Number of current-code entries (optionally for one sweep)."""
+        return sum(1 for _ in self.iter_entries(spec_name))
 
     # -- maintenance ----------------------------------------------------------
 

@@ -57,6 +57,21 @@ def default_parallelism() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def cached_point_labels(spec: SweepSpec, cache: ResultCache) -> List[Hashable]:
+    """Labels of ``spec``'s points already present in ``cache``.
+
+    A pure existence probe -- nothing is unpickled and no hit/miss
+    counters move -- so callers can report sweep coverage (how warm a
+    grid is) without deserializing every stored result.
+    """
+    fn_key = function_fingerprint(spec.run_point)
+    return [
+        point.label for point in spec.points
+        if cache.has(spec.name, spec.base_seed, point.config, fn_key,
+                     point_seed=spec.seed_for(point))
+    ]
+
+
 def run_sweep(
     spec: SweepSpec,
     parallel: int = 1,

@@ -15,7 +15,8 @@ bit-identical to serial.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Hashable, List
+import itertools
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
 from repro.exec.seeding import config_blob, derive_seed
 
@@ -60,6 +61,44 @@ class SweepSpec:
         point = SweepPoint(label=label, config=config)
         self.points.append(point)
         return point
+
+    def add_grid(self, _fixed: Optional[Dict[str, Any]] = None,
+                 **axes: Sequence[Any]) -> List[SweepPoint]:
+        """Declare the dense cross product of ``axes`` as points.
+
+        Each keyword names one axis and supplies its values; one point is
+        declared per combination, iterated with the *last* axis varying
+        fastest (row-major, like nested loops in keyword order).  A
+        point's label is the tuple of its axis values in the same order
+        (a single-axis grid keeps tuple labels, so the label shape does
+        not change when axes are added).  ``_fixed`` merges constant
+        config entries into every point without widening the labels.
+
+        Returns the declared points in declaration order.
+        """
+        if not axes:
+            raise ValueError("add_grid needs at least one axis")
+        # Materialize up front: one-shot iterables would otherwise be
+        # exhausted by the emptiness guard and yield zero points.
+        materialized = {name: tuple(values) for name, values in axes.items()}
+        empty = [name for name, values in materialized.items() if not values]
+        if empty:
+            raise ValueError(
+                f"grid axes must be non-empty, got no values for "
+                f"{', '.join(sorted(empty))}"
+            )
+        fixed = dict(_fixed or {})
+        overlap = sorted(set(fixed) & set(axes))
+        if overlap:
+            raise ValueError(
+                f"fixed config and axes overlap on {', '.join(overlap)}"
+            )
+        points = []
+        for combo in itertools.product(*materialized.values()):
+            config = dict(fixed)
+            config.update(zip(materialized.keys(), combo))
+            points.append(self.add(tuple(combo), **config))
+        return points
 
     def seed_for(self, point: SweepPoint) -> int:
         """The deterministic seed this spec assigns ``point``.

@@ -9,7 +9,7 @@ Usage::
     python -m repro.experiments --parallel 0 --cache-dir .sweep-cache
     python -m repro.experiments --cache-dir .sweep-cache --cache-clear
 
-Experiment ids match DESIGN.md section 4 (t1 t2 f1 f2 f3 f4 x1..x9).
+Experiment ids match DESIGN.md section 4 (t1 t2 f1 f2 f3 f4 x1..x10).
 Every experiment accepts ``--cache-dir`` (on-disk result cache keyed by
 config hash + code version; stale code-fingerprint trees are evicted on
 startup, ``--cache-clear`` wipes the cache entirely); sweep-shaped
@@ -42,6 +42,7 @@ from repro.experiments.sweeps import (
     run_propagation,
     run_transfer_instant,
 )
+from repro.experiments.table1_grid import run_table1_grid
 from repro.experiments.tables import run_table1, run_table2
 
 RUNNERS: Dict[str, Callable] = {
@@ -60,6 +61,7 @@ RUNNERS: Dict[str, Callable] = {
     "x7": run_sessions,
     "x8": run_adaptive,
     "x9": run_backend_smoke,
+    "x10": run_table1_grid,
 }
 
 

@@ -19,7 +19,7 @@ the points out over a worker pool and cache finished results.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.exec import SweepSpec, run_sweep
 from repro.experiments.harness import ExperimentResult, RunMetrics, measure
@@ -31,13 +31,12 @@ from repro.replication.policy import (
     TransferInitiative,
     TransferInstant,
 )
-from repro.sim.process import Process
-from repro.workload.generator import ReaderWorkload, WriterWorkload
-from repro.workload.scenarios import Deployment, build_tree
+from repro.workload.profiles import WorkloadProfile, default_pages, run_profile
+from repro.workload.scenarios import Deployment
 
 #: A ten-page document with ~1 KiB pages, so partial-vs-full differences
 #: are visible in the byte counts.
-PAGES = {f"page-{i}.html": "c" * 1024 for i in range(10)}
+PAGES = default_pages()
 
 
 def _run_deployment(
@@ -51,45 +50,17 @@ def _run_deployment(
     incremental: bool = False,
     horizon: Optional[float] = None,
 ) -> Deployment:
-    deployment = build_tree(
-        policy=policy,
-        n_caches=n_caches,
-        n_readers_per_cache=1,
-        pages=dict(PAGES),
-        seed=seed,
-    )
-    sim = deployment.sim
-    rng = sim.rng.fork("workload")
-    writer = WriterWorkload(
-        deployment.browsers["master"],
-        pages=list(PAGES),
-        rng=rng.fork("writer"),
-        interval=write_interval,
-        operations=writes,
+    profile = WorkloadProfile(
+        name="sweep",
+        writes=writes,
+        reads_per_client=reads_per_client,
+        write_interval=write_interval,
+        read_think=read_think,
         incremental=incremental,
         payload_bytes=1024,
     )
-    workloads: List[object] = [writer]
-    for name, browser in deployment.browsers.items():
-        if name == "master":
-            continue
-        workloads.append(
-            ReaderWorkload(
-                browser,
-                pages=list(PAGES),
-                rng=rng.fork(name),
-                mean_think=read_think,
-                operations=reads_per_client,
-            )
-        )
-    for index, workload in enumerate(workloads):
-        Process(sim, workload.run(), name=f"wl-{index}")
-    sim.run(until=horizon, max_events=10_000_000)
-    if horizon is None:
-        sim.run_until_idle()
-        # Drain the final lazy window, if any.
-        sim.run(until=sim.now + 2 * policy.lazy_interval)
-    return deployment
+    return run_profile(policy, profile, n_caches=n_caches, seed=seed,
+                       pages=dict(PAGES), horizon=horizon)
 
 
 # --------------------------------------------------------------------------
@@ -169,10 +140,11 @@ def run_x2_point(config: Dict[str, Any], seed: int) -> RunMetrics:
         coherence_transfer=CoherenceTransfer.PARTIAL,
         access_transfer=AccessTransfer.PARTIAL,
     )
+    writes, n_caches = config["writes"], config["n_caches"]
+    reads_per_client = max(1, int(writes * config["ratio"] / n_caches))
     deployment = _run_deployment(
-        policy, seed=seed, n_caches=config["n_caches"],
-        writes=config["writes"],
-        reads_per_client=config["reads_per_client"], incremental=False,
+        policy, seed=seed, n_caches=n_caches, writes=writes,
+        reads_per_client=reads_per_client, incremental=False,
     )
     return measure(deployment)
 
@@ -195,17 +167,16 @@ def run_propagation(
     )
     spec = SweepSpec(name="x2-propagation", run_point=run_x2_point,
                      base_seed=seed, paired=True)
-    for ratio in read_ratios:
-        reads_per_client = max(1, int(writes * ratio / n_caches))
-        for propagation in (Propagation.UPDATE, Propagation.INVALIDATE):
-            spec.add(
-                (ratio, propagation.value),
-                ratio=ratio,
-                propagation=propagation,
-                writes=writes,
-                n_caches=n_caches,
-                reads_per_client=reads_per_client,
-            )
+    # The (ratio x propagation) cross is exactly a dense grid; the
+    # derived reads-per-client count moves into the point function so
+    # the axes stay pure.
+    spec.add_grid(
+        _fixed={"writes": writes, "n_caches": n_caches},
+        ratio=read_ratios,
+        propagation=[
+            p.value for p in (Propagation.UPDATE, Propagation.INVALIDATE)
+        ],
+    )
     measured = run_sweep(spec, parallel=parallel, cache_dir=cache_dir)
     for (ratio, propagation), metrics in measured.items():
         result.add_row(

@@ -1,0 +1,65 @@
+"""Reporting subsystem: cached sweeps rendered into a results book.
+
+``repro.report`` is the layer above :mod:`repro.exec` that turns raw
+per-point sweep results into artifacts a reader can check against the
+paper: dense cross-product grids over the Table-1 parameter space
+(:mod:`repro.report.grid`), reduction of the cached per-point results
+into tidy per-cell statistics (:mod:`repro.report.aggregate`), and
+renderers that emit per-metric ASCII/SVG heat maps plus a generated
+``RESULTS.md`` results book (:mod:`repro.report.render`,
+:mod:`repro.report.book`).
+
+The pipeline is ``exec -> cache -> aggregate -> render``::
+
+    python -m repro.report --grid table1 --parallel 0 --cache-dir .sweep-cache
+
+runs (or replays from cache) the full grid and regenerates the book;
+``--check`` re-renders in memory and fails when the committed artifacts
+have gone stale.  Everything rendered is a pure function of the grid
+definition and the cached results, so a re-run with a warm cache is
+bit-identical.
+"""
+
+from repro.report.aggregate import CellStats, MetricTable, aggregate
+from repro.report.book import (
+    book_artifacts,
+    check_book,
+    write_book,
+)
+from repro.report.grid import (
+    GRIDS,
+    METRICS,
+    STRATEGIES,
+    GridDef,
+    MetricDef,
+    ProtocolStrategy,
+    get_grid,
+    grid_spec,
+    run_grid,
+)
+from repro.report.render import (
+    ascii_heatmap,
+    markdown_metric_table,
+    svg_heatmap,
+)
+
+__all__ = [
+    "GRIDS",
+    "METRICS",
+    "STRATEGIES",
+    "CellStats",
+    "GridDef",
+    "MetricDef",
+    "MetricTable",
+    "ProtocolStrategy",
+    "aggregate",
+    "ascii_heatmap",
+    "book_artifacts",
+    "check_book",
+    "get_grid",
+    "grid_spec",
+    "markdown_metric_table",
+    "run_grid",
+    "svg_heatmap",
+    "write_book",
+]

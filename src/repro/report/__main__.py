@@ -1,0 +1,8 @@
+"""``python -m repro.report``: regenerate or check the results book."""
+
+import sys
+
+from repro.report.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

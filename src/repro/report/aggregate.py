@@ -1,0 +1,125 @@
+"""Reduce raw grid results into tidy per-cell metric tables.
+
+The runner hands back one flat metric dict per ``(protocol, workload,
+size, replication)`` point; this module folds the replication axis away,
+leaving, per metric, a :class:`MetricTable`: protocol rows, (workload,
+size) columns, and a :class:`CellStats` (mean / median / p95 over the
+replications) in every cell.  Tables are plain data -- the renderers in
+:mod:`repro.report.render` consume them without knowing how the grid was
+executed, and tests can assert on them without rendering anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable, List, Mapping, Tuple
+
+from repro.metrics.report import percentile
+from repro.report.grid import METRICS, GridDef, MetricDef
+
+
+@dataclasses.dataclass(frozen=True)
+class CellStats:
+    """Replication statistics for one grid cell, one metric."""
+
+    values: Tuple[float, ...]
+    mean: float
+    p50: float
+    p95: float
+
+    @classmethod
+    def from_values(cls, values: List[float]) -> "CellStats":
+        """Summarize one cell's replication values (must be non-empty)."""
+        if not values:
+            raise ValueError("a grid cell must have at least one value")
+        return cls(
+            values=tuple(values),
+            mean=sum(values) / len(values),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricTable:
+    """One metric over the whole grid: protocol rows, workload/size cols."""
+
+    metric: MetricDef
+    rows: Tuple[str, ...]
+    #: Column keys in declaration order: ``(workload, size)`` pairs.
+    cols: Tuple[Tuple[str, int], ...]
+    cells: Mapping[Tuple[str, Tuple[str, int]], CellStats]
+
+    def cell(self, row: str, col: Tuple[str, int]) -> CellStats:
+        """The statistics of one (protocol, column) cell."""
+        return self.cells[(row, col)]
+
+    def value_range(self) -> Tuple[float, float]:
+        """(min, max) of the cell means (heat-map color scale domain)."""
+        means = [stats.mean for stats in self.cells.values()]
+        return min(means), max(means)
+
+
+def aggregate(
+    grid: GridDef,
+    results: Mapping[Hashable, Dict[str, float]],
+) -> Dict[str, MetricTable]:
+    """Fold a grid's raw results into one :class:`MetricTable` per metric.
+
+    ``results`` is the mapping :func:`~repro.report.grid.run_grid`
+    returned (point label -> flat metric dict); every declared cell must
+    be present with every declared metric, so a silently missing point
+    can never render as an empty-looking cell.
+    """
+    rows = grid.protocols
+    cols: Tuple[Tuple[str, int], ...] = tuple(
+        (workload, size)
+        for workload in grid.workloads
+        for size in grid.sizes
+    )
+    per_metric: Dict[str, Dict[Tuple[str, Tuple[str, int]], CellStats]] = {
+        key: {} for key in METRICS
+    }
+    for protocol in rows:
+        for workload, size in cols:
+            samples: Dict[str, List[float]] = {key: [] for key in METRICS}
+            for rep in range(grid.replications):
+                label = grid.cell_label(protocol, workload, size, rep)
+                if label not in results:
+                    raise KeyError(
+                        f"grid {grid.name!r} is missing point {label!r}; "
+                        "was the sweep run with a different grid definition?"
+                    )
+                point = results[label]
+                for key in METRICS:
+                    if key not in point:
+                        raise KeyError(
+                            f"point {label!r} lacks metric {key!r}"
+                        )
+                    samples[key].append(float(point[key]))
+            for key, values in samples.items():
+                per_metric[key][(protocol, (workload, size))] = (
+                    CellStats.from_values(values)
+                )
+    return {
+        key: MetricTable(
+            metric=METRICS[key],
+            rows=tuple(rows),
+            cols=cols,
+            cells=per_metric[key],
+        )
+        for key in METRICS
+    }
+
+
+def column_title(col: Tuple[str, int]) -> str:
+    """Human form of a column key: ``workload / N caches``."""
+    workload, size = col
+    return f"{workload} / {size}"
+
+
+def column_abbrev(col: Tuple[str, int]) -> str:
+    """Compact form of a column key for heat-map axes (e.g. ``RH2``)."""
+    workload, size = col
+    initials = "".join(part[0].upper() for part in workload.split("-"))
+    return f"{initials}{size}"

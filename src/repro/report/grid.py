@@ -1,0 +1,353 @@
+"""Named cross-product grids over the Table-1 parameter space.
+
+A :class:`GridDef` is a declarative description of one dense sweep:
+which replication strategies (:data:`STRATEGIES`, each a named point in
+the paper's Table-1 parameter space), which workload profiles
+(:data:`~repro.workload.profiles.PROFILES`), which topology sizes, and
+how many independent replications per cell.  :func:`grid_spec` expands a
+grid into a :class:`~repro.exec.SweepSpec` via
+:meth:`~repro.exec.SweepSpec.add_grid`, and :func:`run_grid` executes it
+through the cached parallel runner -- so a grid is grown incrementally:
+every finished cell stays cached and re-renders are near-instant.
+
+Point configs carry only *names* (protocol, workload) plus scalars; the
+expansion to policies and traffic lives in the registries here and in
+:mod:`repro.workload.profiles`.  Any edit to those sources rotates the
+cache's code fingerprint, so stale grid cells can never be served.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+from repro.exec import ResultCache, SweepSpec, run_sweep
+from repro.replication.policy import (
+    AccessTransfer,
+    CoherenceTransfer,
+    Propagation,
+    ReplicationPolicy,
+    TransferInitiative,
+    TransferInstant,
+)
+from repro.workload.profiles import get_profile, run_profile
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolStrategy:
+    """One named point in Table 1's implementation-parameter space."""
+
+    name: str
+    propagation: Propagation
+    transfer_initiative: TransferInitiative
+    transfer_instant: TransferInstant
+    coherence_transfer: CoherenceTransfer
+    access_transfer: AccessTransfer
+    lazy_interval: float = 2.0
+    #: Pull-based strategies never quiesce (the pull timer re-arms), so
+    #: their runs are cut at a fixed virtual-time horizon instead.
+    horizon: Optional[float] = None
+
+    def build_policy(self) -> ReplicationPolicy:
+        """The validated :class:`ReplicationPolicy` this strategy names."""
+        return ReplicationPolicy(
+            propagation=self.propagation,
+            transfer_initiative=self.transfer_initiative,
+            transfer_instant=self.transfer_instant,
+            coherence_transfer=self.coherence_transfer,
+            access_transfer=self.access_transfer,
+            lazy_interval=self.lazy_interval,
+        ).validate()
+
+    def table1_cells(self) -> Tuple[str, str, str, str, str]:
+        """This strategy's Table-1 parameter values, for the crosswalk."""
+        return (
+            self.propagation.value,
+            self.transfer_initiative.value,
+            self.transfer_instant.value,
+            self.coherence_transfer.value,
+            self.access_transfer.value,
+        )
+
+
+#: The protocol axis: six strategies spanning Table 1's propagation,
+#: initiative, instant and transfer-type rows (the store-scope and
+#: write-set rows are held at their defaults: all layers, single writer).
+STRATEGIES: Dict[str, ProtocolStrategy] = {
+    strategy.name: strategy
+    for strategy in (
+        ProtocolStrategy(
+            name="push-update",
+            propagation=Propagation.UPDATE,
+            transfer_initiative=TransferInitiative.PUSH,
+            transfer_instant=TransferInstant.IMMEDIATE,
+            coherence_transfer=CoherenceTransfer.PARTIAL,
+            access_transfer=AccessTransfer.PARTIAL,
+        ),
+        ProtocolStrategy(
+            name="push-update-lazy",
+            propagation=Propagation.UPDATE,
+            transfer_initiative=TransferInitiative.PUSH,
+            transfer_instant=TransferInstant.LAZY,
+            coherence_transfer=CoherenceTransfer.PARTIAL,
+            access_transfer=AccessTransfer.PARTIAL,
+        ),
+        ProtocolStrategy(
+            name="push-invalidate",
+            propagation=Propagation.INVALIDATE,
+            transfer_initiative=TransferInitiative.PUSH,
+            transfer_instant=TransferInstant.IMMEDIATE,
+            coherence_transfer=CoherenceTransfer.PARTIAL,
+            access_transfer=AccessTransfer.PARTIAL,
+        ),
+        ProtocolStrategy(
+            name="push-notify",
+            propagation=Propagation.INVALIDATE,
+            transfer_initiative=TransferInitiative.PUSH,
+            transfer_instant=TransferInstant.IMMEDIATE,
+            coherence_transfer=CoherenceTransfer.NOTIFICATION,
+            access_transfer=AccessTransfer.PARTIAL,
+        ),
+        ProtocolStrategy(
+            name="push-full",
+            propagation=Propagation.UPDATE,
+            transfer_initiative=TransferInitiative.PUSH,
+            transfer_instant=TransferInstant.IMMEDIATE,
+            coherence_transfer=CoherenceTransfer.FULL,
+            access_transfer=AccessTransfer.FULL,
+        ),
+        ProtocolStrategy(
+            name="pull-periodic",
+            propagation=Propagation.UPDATE,
+            transfer_initiative=TransferInitiative.PULL,
+            transfer_instant=TransferInstant.LAZY,
+            coherence_transfer=CoherenceTransfer.PARTIAL,
+            access_transfer=AccessTransfer.PARTIAL,
+            horizon=60.0,
+        ),
+    )
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricDef:
+    """One cell metric of the results book."""
+
+    key: str
+    title: str
+    unit: str
+    #: ``format(value, fmt)`` spec used everywhere the metric renders.
+    fmt: str
+    description: str
+    #: ``True`` when smaller values are better (heat maps note it).
+    lower_is_better: bool = True
+
+
+#: Metrics extracted from every grid point, one heat map each.
+METRICS: Dict[str, MetricDef] = {
+    metric.key: metric
+    for metric in (
+        MetricDef(
+            key="wire_kb",
+            title="Total wire traffic",
+            unit="KiB",
+            fmt=".1f",
+            description=(
+                "Bytes crossing the simulated network over the whole run "
+                "(access + coherence traffic), in KiB."
+            ),
+        ),
+        MetricDef(
+            key="coherence_messages",
+            title="Coherence messages",
+            unit="msgs",
+            fmt=".1f",
+            description=(
+                "Datagrams carrying coherence information (updates, "
+                "invalidations, notifications, pulls)."
+            ),
+        ),
+        MetricDef(
+            key="stale_fraction",
+            title="Stale read fraction",
+            unit="fraction",
+            fmt=".3f",
+            description=(
+                "Fraction of reads served from a replica missing at least "
+                "one already-acknowledged write."
+            ),
+        ),
+        MetricDef(
+            key="mean_time_lag",
+            title="Mean staleness time lag",
+            unit="s",
+            fmt=".3f",
+            description=(
+                "Mean age of the oldest acknowledged-but-missing write "
+                "behind a stale read (0 when fresh)."
+            ),
+        ),
+        MetricDef(
+            key="mean_read_latency",
+            title="Mean read latency",
+            unit="s",
+            fmt=".4f",
+            description=(
+                "Mean client-observed read latency, including demand "
+                "round trips for outdated replicas."
+            ),
+        ),
+    )
+}
+
+
+def run_grid_point(config: Dict[str, Any], seed: int) -> Dict[str, float]:
+    """Evaluate one grid cell replication: one policy, one workload, one tree.
+
+    ``config`` carries names and scalars only (``protocol``, ``workload``,
+    ``n_caches``, ``rep``); the expansion to a policy and a traffic mix
+    happens here so the cache key stays plain data.  Returns the flat
+    metric dict the aggregation layer consumes.
+    """
+    strategy = STRATEGIES[config["protocol"]]
+    profile = get_profile(config["workload"])
+    deployment = run_profile(
+        strategy.build_policy(),
+        profile,
+        n_caches=int(config["n_caches"]),
+        seed=seed,
+        horizon=strategy.horizon,
+    )
+    # Imported here (not module top) to keep the report layer importable
+    # without dragging the whole experiments package in at import time.
+    from repro.experiments.harness import measure
+
+    metrics = measure(deployment)
+    return {
+        "wire_kb": metrics.traffic.bytes_sent / 1024.0,
+        "coherence_messages": float(metrics.traffic.coherence_messages),
+        "stale_fraction": metrics.stale_fraction,
+        "mean_time_lag": metrics.mean_time_lag,
+        "mean_read_latency": metrics.mean_read_latency,
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class GridDef:
+    """One named dense sweep over (protocol x workload x size x rep)."""
+
+    name: str
+    title: str
+    description: str
+    protocols: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    sizes: Tuple[int, ...]
+    replications: int
+    base_seed: int = 0
+
+    def axes(self) -> "Dict[str, Tuple[Any, ...]]":
+        """Ordered grid axes, last varying fastest (``rep`` innermost)."""
+        return {
+            "protocol": self.protocols,
+            "workload": self.workloads,
+            "n_caches": self.sizes,
+            "rep": tuple(range(self.replications)),
+        }
+
+    def point_count(self) -> int:
+        """Total number of points in the dense cross product."""
+        total = 1
+        for values in self.axes().values():
+            total *= len(values)
+        return total
+
+    def cell_label(self, protocol: str, workload: str, size: int,
+                   rep: int) -> Hashable:
+        """The sweep-point label of one (cell, replication)."""
+        return (protocol, workload, size, rep)
+
+
+#: The named grids ``python -m repro.report --grid`` accepts.
+GRIDS: Dict[str, GridDef] = {
+    grid.name: grid
+    for grid in (
+        GridDef(
+            name="table1",
+            title="Full Table-1 cross product",
+            description=(
+                "Every named replication strategy under every workload "
+                "profile at every tree size, three independent "
+                "replications per cell."
+            ),
+            protocols=tuple(STRATEGIES),
+            workloads=("read-heavy", "balanced", "write-heavy"),
+            sizes=(2, 4, 8),
+            replications=3,
+        ),
+        GridDef(
+            name="table1-small",
+            title="Small Table-1 cross product",
+            description=(
+                "A 2x2x2 corner of the full grid with two replications "
+                "per cell; the golden-test and CI smoke grid."
+            ),
+            protocols=("push-update", "push-invalidate"),
+            workloads=("read-heavy", "write-heavy"),
+            sizes=(2, 4),
+            replications=2,
+        ),
+    )
+}
+
+
+def validate_metric_keys(keys: Optional[Sequence[str]]) -> None:
+    """Raise ``KeyError`` (with the catalog) on unregistered metric keys.
+
+    The one validator both the CLI (before any sweep work) and
+    :func:`repro.report.book.book_artifacts` (for non-CLI callers) use,
+    so the error message cannot drift between them.
+    """
+    unknown = [key for key in (keys or []) if key not in METRICS]
+    if unknown:
+        raise KeyError(
+            f"unknown metrics: {', '.join(unknown)}; "
+            f"registered: {', '.join(METRICS)}"
+        )
+
+
+def get_grid(name: str) -> GridDef:
+    """Look up a registered grid; raise ``KeyError`` with the catalog."""
+    try:
+        return GRIDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown grid {name!r}; registered: {', '.join(sorted(GRIDS))}"
+        ) from None
+
+
+def grid_spec(grid: GridDef) -> SweepSpec:
+    """Expand a grid into its dense-cross-product :class:`SweepSpec`."""
+    spec = SweepSpec(
+        name=f"report-{grid.name}",
+        run_point=run_grid_point,
+        base_seed=grid.base_seed,
+    )
+    spec.add_grid(**grid.axes())
+    return spec
+
+
+def run_grid(
+    grid: GridDef,
+    parallel: int = 1,
+    cache_dir: Optional[str] = None,
+    cache: Optional[ResultCache] = None,
+) -> Mapping[Hashable, Dict[str, float]]:
+    """Execute a grid through the cached parallel runner.
+
+    Returns ``{(protocol, workload, size, rep): metric dict}`` in
+    declaration order; cached cells are replayed, missing cells computed.
+    A prebuilt ``cache`` (:class:`~repro.exec.ResultCache`) takes
+    precedence over ``cache_dir``.
+    """
+    return run_sweep(grid_spec(grid), parallel=parallel,
+                     cache_dir=cache_dir, cache=cache)

@@ -1,0 +1,218 @@
+"""Renderers: metric tables to markdown, ASCII and SVG heat maps.
+
+Everything here is a pure function of a
+:class:`~repro.report.aggregate.MetricTable`; floats render through the
+metric's own format spec and the color scale is a fixed sequential ramp,
+so output is bit-identical across runs, machines and parallelism -- the
+property the results book's ``--check`` gate relies on.
+
+The SVG heat maps follow the house data-viz rules: one-hue sequential
+ramp (light = low, dark = high), a 2px surface gap between cell fills,
+values and labels in text ink (never the series color), and a legend
+naming the scale's actual domain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.report.aggregate import MetricTable, column_abbrev, column_title
+
+#: Shade characters for ASCII heat maps, lightest (low) to densest (high).
+ASCII_RAMP = " .:-=+*#%@"
+
+#: Sequential blue ramp (steps 100..700), lightest first.  One hue,
+#: light-to-dark: the lightest step means "near zero" and recedes toward
+#: the surface.
+SVG_RAMP = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b",
+)
+
+#: First ramp index whose fill is dark enough to need light value text.
+_DARK_FROM = 7
+
+_SURFACE = "#fcfcfb"
+_INK = "#0b0b0b"
+_INK_SECONDARY = "#52514e"
+_INK_ON_DARK = "#ffffff"
+
+
+def _normalize(value: float, low: float, high: float) -> float:
+    """Map ``value`` into [0, 1] over the table's domain (0 when flat)."""
+    if high <= low:
+        return 0.0
+    return max(0.0, min(1.0, (value - low) / (high - low)))
+
+
+def _ramp_index(value: float, low: float, high: float, steps: int) -> int:
+    """The ramp step for ``value`` (last step only at the maximum)."""
+    position = _normalize(value, low, high)
+    return min(steps - 1, int(position * steps))
+
+
+def markdown_metric_table(table: MetricTable) -> str:
+    """One metric as a GitHub-flavoured markdown table.
+
+    Cells render ``mean (p95)`` over the cell's replications, using the
+    metric's own format spec.
+    """
+    fmt = table.metric.fmt
+    header = ["protocol"] + [column_title(col) for col in table.cols]
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for row in table.rows:
+        cells = [row]
+        for col in table.cols:
+            stats = table.cell(row, col)
+            cells.append(
+                f"{format(stats.mean, fmt)} ({format(stats.p95, fmt)})"
+            )
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def ascii_heatmap(table: MetricTable) -> str:
+    """One metric as a terminal heat map (shade characters).
+
+    Rows are protocols, columns the abbreviated (workload, size) pairs;
+    the legend names the shade ramp's actual domain so the picture can
+    be read quantitatively.
+    """
+    low, high = table.value_range()
+    fmt = table.metric.fmt
+    label_width = max(len("protocol"), *(len(row) for row in table.rows))
+    abbrevs = [column_abbrev(col) for col in table.cols]
+    cell_width = max(3, *(len(a) for a in abbrevs)) + 1
+    lines = [
+        "protocol".ljust(label_width) + " "
+        + "".join(a.rjust(cell_width) for a in abbrevs)
+    ]
+    for row in table.rows:
+        shades = []
+        for col in table.cols:
+            index = _ramp_index(table.cell(row, col).mean, low, high,
+                                len(ASCII_RAMP))
+            shades.append((ASCII_RAMP[index] * 2).rjust(cell_width))
+        lines.append(row.ljust(label_width) + " " + "".join(shades))
+    direction = "lower is better" if table.metric.lower_is_better else (
+        "higher is better")
+    lines.append("")
+    lines.append(
+        f"scale: ' '(low) -> '@'(high), "
+        f"{format(low, fmt)}..{format(high, fmt)} {table.metric.unit} "
+        f"({direction}); columns abbreviate workload/size"
+    )
+    return "\n".join(lines)
+
+
+def _svg_text(x: float, y: float, text: str, fill: str, size: int = 12,
+              anchor: str = "middle", weight: str = "normal") -> str:
+    """One deterministic SVG ``<text>`` element."""
+    return (
+        f'<text x="{x:g}" y="{y:g}" fill="{fill}" font-size="{size}" '
+        f'text-anchor="{anchor}" font-weight="{weight}" '
+        f'font-family="system-ui, sans-serif">{_escape(text)}</text>'
+    )
+
+
+def _escape(text: str) -> str:
+    """Escape a string for SVG text/attribute content."""
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def svg_heatmap(table: MetricTable) -> str:
+    """One metric as a standalone SVG heat map.
+
+    Protocol rows, (workload, size) columns grouped by workload, cell
+    fill from the sequential ramp over the table's own domain, value
+    labels in text ink (light ink on the dark end of the ramp), and a
+    stepped legend naming the domain.  Output is deterministic.
+    """
+    low, high = table.value_range()
+    fmt = table.metric.fmt
+    cell_w, cell_h, gap = 74, 30, 2
+    label_w = 12 + 7 * max(len(row) for row in table.rows)
+    top = 64
+    legend_h = 56
+    width = label_w + len(table.cols) * (cell_w + gap) + 16
+    height = top + len(table.rows) * (cell_h + gap) + legend_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'role="img" aria-label="{_escape(table.metric.title)} heat map">',
+        f'<rect width="{width}" height="{height}" fill="{_SURFACE}"/>',
+        _svg_text(8, 20, f"{table.metric.title} ({table.metric.unit})",
+                  _INK, size=14, anchor="start", weight="bold"),
+        _svg_text(
+            8, 38,
+            "lower is better" if table.metric.lower_is_better
+            else "higher is better",
+            _INK_SECONDARY, size=11, anchor="start",
+        ),
+    ]
+
+    # Column headers: workload group labels over size labels.
+    groups: List[Tuple[str, int, int]] = []
+    for index, (workload, _) in enumerate(table.cols):
+        if groups and groups[-1][0] == workload:
+            groups[-1] = (workload, groups[-1][1], index)
+        else:
+            groups.append((workload, index, index))
+    for workload, first, last in groups:
+        x0 = label_w + first * (cell_w + gap)
+        x1 = label_w + (last + 1) * (cell_w + gap) - gap
+        parts.append(_svg_text((x0 + x1) / 2, top - 20, workload,
+                               _INK_SECONDARY, size=11))
+    for index, (_, size) in enumerate(table.cols):
+        x = label_w + index * (cell_w + gap) + cell_w / 2
+        parts.append(_svg_text(x, top - 6, f"{size} caches",
+                               _INK_SECONDARY, size=10))
+
+    # Cells.
+    for row_index, row in enumerate(table.rows):
+        y = top + row_index * (cell_h + gap)
+        parts.append(_svg_text(label_w - 8, y + cell_h / 2 + 4, row,
+                               _INK, size=11, anchor="end"))
+        for col_index, col in enumerate(table.cols):
+            stats = table.cell(row, col)
+            index = _ramp_index(stats.mean, low, high, len(SVG_RAMP))
+            fill = SVG_RAMP[index]
+            ink = _INK_ON_DARK if index >= _DARK_FROM else _INK
+            x = label_w + col_index * (cell_w + gap)
+            value = format(stats.mean, fmt)
+            tooltip = (
+                f"{row} / {column_title(col)}: mean {value} "
+                f"(p95 {format(stats.p95, fmt)}) {table.metric.unit}"
+            )
+            parts.append(
+                f'<g><title>{_escape(tooltip)}</title>'
+                f'<rect x="{x}" y="{y}" width="{cell_w}" '
+                f'height="{cell_h}" rx="2" fill="{fill}"/>'
+                + _svg_text(x + cell_w / 2, y + cell_h / 2 + 4, value, ink,
+                            size=11)
+                + "</g>"
+            )
+
+    # Legend: the ramp as discrete steps with the actual domain labeled.
+    legend_y = top + len(table.rows) * (cell_h + gap) + 18
+    step_w, step_h = 18, 10
+    for index, color in enumerate(SVG_RAMP):
+        parts.append(
+            f'<rect x="{label_w + index * step_w}" y="{legend_y}" '
+            f'width="{step_w - 1}" height="{step_h}" fill="{color}"/>'
+        )
+    parts.append(_svg_text(label_w, legend_y + step_h + 14,
+                           format(low, fmt), _INK_SECONDARY, size=10,
+                           anchor="start"))
+    parts.append(_svg_text(label_w + len(SVG_RAMP) * step_w,
+                           legend_y + step_h + 14, format(high, fmt),
+                           _INK_SECONDARY, size=10, anchor="end"))
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

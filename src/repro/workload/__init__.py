@@ -13,14 +13,24 @@ from repro.workload.generator import (
     ZipfPagePicker,
     drive,
 )
+from repro.workload.profiles import (
+    PROFILES,
+    WorkloadProfile,
+    get_profile,
+    run_profile,
+)
 from repro.workload.scenarios import Deployment, build_tree, conference_deployment
 
 __all__ = [
     "Deployment",
+    "PROFILES",
     "ReaderWorkload",
+    "WorkloadProfile",
     "WriterWorkload",
     "ZipfPagePicker",
     "build_tree",
     "conference_deployment",
     "drive",
+    "get_profile",
+    "run_profile",
 ]

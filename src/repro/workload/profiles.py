@@ -1,0 +1,153 @@
+"""Grid-parameterized workload profiles: named traffic mixes in one call.
+
+The Table-1 sweeps compare replication strategies *under a workload*, so
+the workload axis has to be as declarative as the policy axis.  A
+:class:`WorkloadProfile` names one traffic mix (how often the master
+writes, how eagerly the readers read); :data:`PROFILES` is the registry
+the report grids draw their workload axis from; and :func:`run_profile`
+assembles the Fig. 2 tree, drives the profile's writer and readers over
+it, and returns the finished :class:`~repro.workload.scenarios.Deployment`
+ready for measurement.
+
+Profiles are plain data, so a profile *name* can travel through a sweep
+config (and its cache key) while the expansion to writer/reader
+parameters stays in exactly one place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.replication.policy import ReplicationPolicy
+from repro.sim.process import Process
+from repro.workload.generator import ReaderWorkload, WriterWorkload
+from repro.workload.scenarios import Deployment, build_tree
+
+def default_pages() -> Dict[str, str]:
+    """A fresh copy of the standard profile document.
+
+    Ten ~1 KiB pages, big enough that partial-vs-full transfer
+    differences show up in the byte counts.
+    """
+    return {f"page-{i}.html": "c" * 1024 for i in range(10)}
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadProfile:
+    """One named traffic mix over the Fig. 2 tree.
+
+    ``writes``/``write_interval`` shape the master's update stream;
+    ``reads_per_client``/``read_think`` shape each reader;
+    ``incremental`` selects append-style updates (the conference master)
+    over whole-page overwrites; ``payload_bytes`` sizes each update.
+    """
+
+    name: str
+    writes: int
+    reads_per_client: int
+    write_interval: float
+    read_think: float
+    incremental: bool = False
+    payload_bytes: int = 1024
+
+    def describe(self) -> str:
+        """One-line human summary (used by the results book)."""
+        return (
+            f"{self.writes} writes every ~{self.write_interval:g}s, "
+            f"{self.reads_per_client} reads/client with ~{self.read_think:g}s "
+            f"think time"
+        )
+
+
+#: The standard profile axis: the same document under three read/write
+#: mixes, spanning the regimes Section 3.3 argues pick different policies.
+PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (
+        WorkloadProfile(
+            name="read-heavy",
+            writes=10, write_interval=1.0,
+            reads_per_client=30, read_think=0.2,
+        ),
+        WorkloadProfile(
+            name="balanced",
+            writes=20, write_interval=0.5,
+            reads_per_client=10, read_think=0.5,
+        ),
+        WorkloadProfile(
+            name="write-heavy",
+            writes=40, write_interval=0.25,
+            reads_per_client=5, read_think=1.0,
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a registered profile; raise ``KeyError`` with the catalog."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload profile {name!r}; "
+            f"registered: {', '.join(sorted(PROFILES))}"
+        ) from None
+
+
+def run_profile(
+    policy: ReplicationPolicy,
+    profile: WorkloadProfile,
+    n_caches: int,
+    seed: int,
+    pages: Optional[Dict[str, str]] = None,
+    horizon: Optional[float] = None,
+) -> Deployment:
+    """Drive ``profile`` over a fresh Fig. 2 tree under ``policy``.
+
+    Builds the tree (one reader per cache plus the master), spawns the
+    profile's writer and reader processes, runs the simulation to
+    completion (or to ``horizon`` when set -- pull-based policies never
+    quiesce on their own), drains the final lazy window, and returns the
+    finished deployment for measurement.
+    """
+    pages = pages if pages is not None else default_pages()
+    deployment = build_tree(
+        policy=policy,
+        n_caches=n_caches,
+        n_readers_per_cache=1,
+        pages=dict(pages),
+        seed=seed,
+    )
+    sim = deployment.sim
+    rng = sim.rng.fork("workload")
+    writer = WriterWorkload(
+        deployment.browsers["master"],
+        pages=list(pages),
+        rng=rng.fork("writer"),
+        interval=profile.write_interval,
+        operations=profile.writes,
+        incremental=profile.incremental,
+        payload_bytes=profile.payload_bytes,
+    )
+    workloads: List[object] = [writer]
+    for name, browser in deployment.browsers.items():
+        if name == "master":
+            continue
+        workloads.append(
+            ReaderWorkload(
+                browser,
+                pages=list(pages),
+                rng=rng.fork(name),
+                mean_think=profile.read_think,
+                operations=profile.reads_per_client,
+            )
+        )
+    for index, workload in enumerate(workloads):
+        Process(sim, workload.run(), name=f"wl-{index}")
+    sim.run(until=horizon, max_events=10_000_000)
+    if horizon is None:
+        sim.run_until_idle()
+        # Drain the final lazy window, if any.
+        sim.run(until=sim.now + 2 * policy.lazy_interval)
+    return deployment

@@ -1,0 +1,135 @@
+"""Tests for the exec-layer grid helpers and cache introspection."""
+
+import pytest
+
+from repro.exec import (
+    ResultCache,
+    SweepSpec,
+    cached_point_labels,
+    run_sweep,
+)
+
+
+def product_point(config, seed):
+    return config["a"] * config["b"] + config.get("offset", 0)
+
+
+class TestAddGrid:
+    def test_cross_product_order_last_axis_fastest(self):
+        spec = SweepSpec(name="grid", run_point=product_point)
+        spec.add_grid(a=(1, 2), b=(10, 20, 30))
+        assert spec.labels() == [
+            (1, 10), (1, 20), (1, 30),
+            (2, 10), (2, 20), (2, 30),
+        ]
+        assert spec.points[0].config == {"a": 1, "b": 10}
+        assert spec.points[-1].config == {"a": 2, "b": 30}
+
+    def test_fixed_config_merged_without_widening_labels(self):
+        spec = SweepSpec(name="grid", run_point=product_point)
+        points = spec.add_grid(_fixed={"offset": 5}, a=(1,), b=(10, 20))
+        assert [p.label for p in points] == [(1, 10), (1, 20)]
+        assert all(p.config["offset"] == 5 for p in points)
+
+    def test_single_axis_keeps_tuple_labels(self):
+        spec = SweepSpec(name="grid", run_point=product_point)
+        spec.add_grid(a=(1, 2), b=(3,))
+        # Labels keep one slot per axis even for degenerate axes.
+        assert spec.labels() == [(1, 3), (2, 3)]
+
+    def test_one_shot_iterable_axes_fully_expanded(self):
+        # A generator axis must not be exhausted by validation.
+        spec = SweepSpec(name="grid", run_point=product_point)
+        spec.add_grid(a=(x for x in (1, 2)), b=iter((10, 20)))
+        assert spec.labels() == [(1, 10), (1, 20), (2, 10), (2, 20)]
+
+    def test_empty_axis_rejected(self):
+        spec = SweepSpec(name="grid", run_point=product_point)
+        with pytest.raises(ValueError, match="non-empty"):
+            spec.add_grid(a=(1, 2), b=())
+
+    def test_no_axes_rejected(self):
+        spec = SweepSpec(name="grid", run_point=product_point)
+        with pytest.raises(ValueError, match="at least one axis"):
+            spec.add_grid()
+
+    def test_fixed_axis_overlap_rejected(self):
+        spec = SweepSpec(name="grid", run_point=product_point)
+        with pytest.raises(ValueError, match="overlap"):
+            spec.add_grid(_fixed={"a": 1}, a=(1, 2), b=(3,))
+
+    def test_grid_runs_through_runner(self):
+        spec = SweepSpec(name="grid", run_point=product_point)
+        spec.add_grid(a=(2, 3), b=(10, 20))
+        results = run_sweep(spec)
+        assert results == {
+            (2, 10): 20, (2, 20): 40, (3, 10): 30, (3, 20): 60,
+        }
+
+
+class TestCacheIntrospection:
+    def _run(self, tmp_path, n=3, name="squares"):
+        spec = SweepSpec(name=name, run_point=product_point)
+        for x in range(n):
+            spec.add(f"x={x}", a=x, b=x)
+        cache = ResultCache(tmp_path)
+        run_sweep(spec, cache=cache)
+        return spec, cache
+
+    def test_empty_cache_has_no_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.spec_names() == []
+        assert cache.entry_count() == 0
+        assert list(cache.iter_entries()) == []
+
+    def test_entries_enumerated_per_spec(self, tmp_path):
+        self._run(tmp_path, n=3, name="alpha")
+        _, cache = self._run(tmp_path, n=2, name="beta")
+        assert cache.spec_names() == ["alpha", "beta"]
+        assert cache.entry_count() == 5
+        assert cache.entry_count("alpha") == 3
+        assert cache.entry_count("beta") == 2
+        for name, path in cache.iter_entries("beta"):
+            assert name == "beta"
+            assert path.suffix == ".pkl"
+
+    def test_other_fingerprints_invisible(self, tmp_path):
+        _, cache = self._run(tmp_path)
+        other = ResultCache(tmp_path, fingerprint="deadbeef00000000")
+        assert other.spec_names() == []
+        assert other.entry_count() == 0
+
+    def test_cached_point_labels_reports_coverage(self, tmp_path):
+        spec = SweepSpec(name="coverage", run_point=product_point)
+        for x in range(4):
+            spec.add(f"x={x}", a=x, b=x)
+        cache = ResultCache(tmp_path)
+        assert cached_point_labels(spec, cache) == []
+        partial = SweepSpec(name="coverage", run_point=product_point)
+        partial.add("x=1", a=1, b=1)
+        partial.add("x=3", a=3, b=3)
+        run_sweep(partial, cache=cache)
+        assert cached_point_labels(spec, cache) == ["x=1", "x=3"]
+
+    def test_cached_point_labels_preserves_counters(self, tmp_path):
+        spec, cache = self._run(tmp_path)
+        hits, misses = cache.hits, cache.misses
+        cached_point_labels(spec, cache)
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_has_probes_without_unpickling(self, tmp_path):
+        spec, cache = self._run(tmp_path, n=1)
+        point = spec.points[0]
+        from repro.exec.cache import function_fingerprint
+        fn_key = function_fingerprint(spec.run_point)
+        args = (spec.name, spec.base_seed, point.config, fn_key)
+        assert cache.has(*args, point_seed=spec.seed_for(point))
+        assert not cache.has("other-spec", spec.base_seed, point.config,
+                             fn_key, point_seed=spec.seed_for(point))
+        # Corrupt the entry on disk: has() still answers True (it is an
+        # existence probe), while get() treats it as a miss.
+        [(_, path)] = cache.iter_entries()
+        path.write_bytes(b"garbage")
+        assert cache.has(*args, point_seed=spec.seed_for(point))
+        hit, _ = cache.get(*args, point_seed=spec.seed_for(point))
+        assert not hit

@@ -1,0 +1,84 @@
+"""Tests for the aggregation layer (synthetic results, no simulation)."""
+
+import pytest
+
+from repro.report.aggregate import (
+    CellStats,
+    aggregate,
+    column_abbrev,
+    column_title,
+)
+from repro.report.grid import METRICS, GridDef
+
+TINY = GridDef(
+    name="tiny",
+    title="Tiny synthetic grid",
+    description="Aggregation-test fixture.",
+    protocols=("alpha", "beta"),
+    workloads=("read-heavy",),
+    sizes=(2, 4),
+    replications=2,
+)
+
+
+def _synthetic_results(missing=None, drop_metric=None):
+    results = {}
+    base = 0.0
+    for protocol in TINY.protocols:
+        for workload in TINY.workloads:
+            for size in TINY.sizes:
+                for rep in range(TINY.replications):
+                    label = (protocol, workload, size, rep)
+                    if label == missing:
+                        continue
+                    point = {key: base + rep for key in METRICS}
+                    if drop_metric:
+                        point.pop(drop_metric)
+                    results[label] = point
+                    base += 10.0
+    return results
+
+
+def test_cell_stats_mean_and_percentiles():
+    stats = CellStats.from_values([1.0, 3.0])
+    assert stats.mean == 2.0
+    assert stats.p50 == 2.0
+    assert stats.p95 == pytest.approx(2.9)
+    assert stats.values == (1.0, 3.0)
+
+
+def test_cell_stats_rejects_empty():
+    with pytest.raises(ValueError):
+        CellStats.from_values([])
+
+
+def test_aggregate_shapes_and_reduces_replications():
+    tables = aggregate(TINY, _synthetic_results())
+    assert set(tables) == set(METRICS)
+    table = tables["wire_kb"]
+    assert table.rows == ("alpha", "beta")
+    assert table.cols == (("read-heavy", 2), ("read-heavy", 4))
+    # First cell: replications 0.0 and 11.0 (base advances by 10 per
+    # point, +rep).
+    cell = table.cell("alpha", ("read-heavy", 2))
+    assert cell.values == (0.0, 11.0)
+    assert cell.mean == 5.5
+    low, high = table.value_range()
+    assert low == 5.5 and high > low
+
+
+def test_aggregate_missing_point_is_loud():
+    results = _synthetic_results(missing=("beta", "read-heavy", 4, 1))
+    with pytest.raises(KeyError, match="missing point"):
+        aggregate(TINY, results)
+
+
+def test_aggregate_missing_metric_is_loud():
+    with pytest.raises(KeyError, match="lacks metric"):
+        aggregate(TINY, _synthetic_results(drop_metric="stale_fraction"))
+
+
+def test_column_labels():
+    assert column_title(("read-heavy", 4)) == "read-heavy / 4"
+    assert column_abbrev(("read-heavy", 4)) == "RH4"
+    assert column_abbrev(("balanced", 8)) == "B8"

@@ -1,0 +1,78 @@
+"""Tests for the ``python -m repro.report`` command-line driver."""
+
+from repro.report.book import BOOK_NAME
+from repro.report.cli import main
+
+
+def test_list_catalogs_grids_and_metrics(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "table1-small" in out
+    assert "stale_fraction" in out
+
+
+def test_unknown_grid_rejected(capsys):
+    assert main(["--grid", "nope"]) == 2
+    assert "unknown grid" in capsys.readouterr().err
+
+
+def test_unknown_metric_rejected(tmp_path, capsys):
+    assert main(["--grid", "table1-small", "--metric", "nope",
+                 "--out", str(tmp_path)]) == 2
+    assert "unknown metrics" in capsys.readouterr().err
+
+
+def test_generate_then_check_roundtrip(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    out = str(tmp_path / "book")
+    assert main(["--grid", "table1-small", "--out", out,
+                 "--cache-dir", cache]) == 0
+    stdout = capsys.readouterr().out
+    assert "0/16 points cached" in stdout
+    assert f"wrote {out}" in stdout.replace("/RESULTS.md", "")
+    # Second invocation is all cache hits and the artifacts are current.
+    assert main(["--grid", "table1-small", "--out", out,
+                 "--cache-dir", cache, "--check"]) == 0
+    stdout = capsys.readouterr().out
+    assert "16/16 points cached" in stdout
+    assert "up to date" in stdout
+
+
+def test_check_fails_on_stale_book(tmp_path, capsys):
+    out = str(tmp_path / "book")
+    assert main(["--grid", "table1-small", "--out", out]) == 0
+    capsys.readouterr()
+    (tmp_path / "book" / BOOK_NAME).write_text("stale\n")
+    assert main(["--grid", "table1-small", "--out", out, "--check"]) == 1
+    assert "stale generated docs" in capsys.readouterr().out
+
+
+def test_metric_subset_renders_single_heatmap(tmp_path, capsys):
+    out = tmp_path / "book"
+    assert main(["--grid", "table1-small", "--metric", "wire_kb",
+                 "--out", str(out)]) == 0
+    svgs = list((out / "results" / "heatmaps").glob("**/*.svg"))
+    assert [svg.name for svg in svgs] == ["wire_kb.svg"]
+    assert svgs[0].parent.name == "table1-small"
+    book = (out / BOOK_NAME).read_text()
+    assert "Total wire traffic" in book
+    assert "Stale read fraction" not in book
+
+
+def test_check_rejects_metric_subset(tmp_path, capsys):
+    assert main(["--grid", "table1-small", "--metric", "wire_kb",
+                 "--out", str(tmp_path), "--check"]) == 2
+    assert "cannot be combined" in capsys.readouterr().err
+
+
+def test_check_does_not_flag_other_grids_heatmaps(tmp_path, capsys):
+    # table1-small's heat maps live in their own subdirectory, so a
+    # check of a grid whose name is a prefix (table1) must not see them.
+    out = str(tmp_path)
+    assert main(["--grid", "table1-small", "--out", out]) == 0
+    assert main(["--grid", "table1-small", "--out", out, "--check"]) == 0
+    capsys.readouterr()
+    stray = tmp_path / "results" / "heatmaps" / "table1-small" / "old.svg"
+    stray.write_text("<svg/>")
+    assert main(["--grid", "table1-small", "--out", out, "--check"]) == 1
+    assert "(orphaned)" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Tests for the report grid registry and its point function."""
+
+import pytest
+
+from repro.report.grid import (
+    GRIDS,
+    METRICS,
+    STRATEGIES,
+    get_grid,
+    grid_spec,
+    run_grid_point,
+)
+
+
+def test_every_strategy_builds_a_valid_policy():
+    for name, strategy in STRATEGIES.items():
+        policy = strategy.build_policy()
+        assert policy.propagation is strategy.propagation, name
+
+
+def test_pull_strategies_carry_a_horizon():
+    for strategy in STRATEGIES.values():
+        if strategy.transfer_initiative.value == "pull":
+            assert strategy.horizon is not None, strategy.name
+
+
+def test_grid_registry_consistent():
+    for name, grid in GRIDS.items():
+        assert grid.name == name
+        for protocol in grid.protocols:
+            assert protocol in STRATEGIES
+        assert grid.replications >= 2  # percentiles need samples
+        assert grid.point_count() == (
+            len(grid.protocols) * len(grid.workloads)
+            * len(grid.sizes) * grid.replications
+        )
+
+
+def test_table1_covers_all_strategies():
+    assert set(get_grid("table1").protocols) == set(STRATEGIES)
+
+
+def test_small_grid_is_a_corner_of_the_full_grid():
+    small, full = get_grid("table1-small"), get_grid("table1")
+    assert set(small.protocols) <= set(full.protocols)
+    assert set(small.workloads) <= set(full.workloads)
+    assert set(small.sizes) <= set(full.sizes)
+
+
+def test_get_grid_unknown_names_catalog():
+    with pytest.raises(KeyError, match="registered:"):
+        get_grid("nope")
+
+
+def test_grid_spec_expands_dense_cross_product():
+    grid = get_grid("table1-small")
+    spec = grid_spec(grid)
+    assert len(spec.points) == grid.point_count()
+    assert spec.labels()[0] == (
+        grid.protocols[0], grid.workloads[0], grid.sizes[0], 0,
+    )
+    # Every label is the (protocol, workload, size, rep) tuple.
+    assert all(len(label) == 4 for label in spec.labels())
+
+
+def test_run_grid_point_returns_all_metrics_and_is_deterministic():
+    config = {"protocol": "push-invalidate", "workload": "read-heavy",
+              "n_caches": 2, "rep": 0}
+    first = run_grid_point(dict(config), seed=11)
+    second = run_grid_point(dict(config), seed=11)
+    assert first == second
+    assert set(METRICS) <= set(first)
+    assert all(isinstance(v, float) for v in first.values())
+
+
+def test_replications_differ_via_derived_seeds():
+    grid = get_grid("table1-small")
+    spec = grid_spec(grid)
+    by_label = {point.label: point for point in spec.points}
+    a = by_label[("push-update", "read-heavy", 2, 0)]
+    b = by_label[("push-update", "read-heavy", 2, 1)]
+    assert spec.seed_for(a) != spec.seed_for(b)

@@ -1,0 +1,56 @@
+"""Tests for the grid-parameterized workload profile factories."""
+
+import pytest
+
+from repro.experiments.harness import measure
+from repro.replication.policy import ReplicationPolicy
+from repro.workload.profiles import (
+    PROFILES,
+    WorkloadProfile,
+    get_profile,
+    run_profile,
+)
+
+
+def test_registry_names_match_keys():
+    assert all(name == profile.name for name, profile in PROFILES.items())
+    assert {"read-heavy", "balanced", "write-heavy"} <= set(PROFILES)
+
+
+def test_profiles_span_read_write_regimes():
+    read_heavy = PROFILES["read-heavy"]
+    write_heavy = PROFILES["write-heavy"]
+    assert read_heavy.reads_per_client > read_heavy.writes
+    assert write_heavy.writes > write_heavy.reads_per_client
+
+
+def test_get_profile_unknown_names_catalog():
+    with pytest.raises(KeyError, match="registered:"):
+        get_profile("nope")
+
+
+def test_run_profile_drives_all_clients():
+    profile = WorkloadProfile(
+        name="tiny", writes=3, reads_per_client=4,
+        write_interval=0.2, read_think=0.2,
+    )
+    deployment = run_profile(ReplicationPolicy(), profile,
+                             n_caches=2, seed=7)
+    metrics = measure(deployment)
+    # Two caches, one reader each: every reader completes its reads.
+    assert metrics.reads == 2 * profile.reads_per_client
+    assert metrics.traffic.bytes_sent > 0
+
+
+def test_run_profile_deterministic_per_seed():
+    profile = PROFILES["balanced"]
+
+    def run(seed):
+        deployment = run_profile(ReplicationPolicy(), profile,
+                                 n_caches=2, seed=seed)
+        summary = measure(deployment)
+        return (summary.traffic.bytes_sent, summary.reads,
+                summary.mean_read_latency)
+
+    assert run(3) == run(3)
+    assert run(3) != run(4)
