@@ -9,7 +9,7 @@ Usage::
     python -m repro.experiments --parallel 0 --cache-dir .sweep-cache
     python -m repro.experiments --cache-dir .sweep-cache --cache-clear
 
-Experiment ids match DESIGN.md section 4 (t1 t2 f1 f2 f3 f4 x1..x10).
+Experiment ids match DESIGN.md section 4 (t1 t2 f1 f2 f3 f4 x1..x12).
 Every experiment accepts ``--cache-dir`` (on-disk result cache keyed by
 config hash + code version; stale code-fingerprint trees are evicted on
 startup, ``--cache-clear`` wipes the cache entirely); sweep-shaped
@@ -33,6 +33,7 @@ from repro.experiments.adaptive import run_adaptive
 from repro.experiments.backends import run_backend_smoke
 from repro.experiments.conference import run_conference, run_fig4_wid_flow
 from repro.experiments.endtoend import run_endtoend
+from repro.experiments.faults import run_fault_grid, run_fault_soak
 from repro.experiments.figures import run_fig1, run_fig2
 from repro.experiments.model_costs import run_model_costs
 from repro.experiments.per_object import run_per_object
@@ -62,6 +63,8 @@ RUNNERS: Dict[str, Callable] = {
     "x8": run_adaptive,
     "x9": run_backend_smoke,
     "x10": run_table1_grid,
+    "x11": run_fault_grid,
+    "x12": run_fault_soak,
 }
 
 

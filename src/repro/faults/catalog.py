@@ -1,0 +1,173 @@
+"""Named fault plans: the fault axis of sweeps and grids.
+
+Exactly like :data:`repro.workload.profiles.PROFILES`, the registry here
+lets a fault scenario travel through a sweep config (and its cache key)
+as a plain *name* while the expansion to concrete events stays in one
+place.  A :class:`FaultPlanDef` builds its plan from the deployment's
+store addresses (creation order: the permanent store first, then mirrors,
+then caches) and a :class:`~repro.sim.rng.SeededRng` forked from the
+point's derived seed -- so randomized plans (``"churn"``) are a pure
+function of the sweep's config hash, bit-identical across processes.
+
+Plans cut *store-to-store* links only: a client keeps talking to its own
+cache, which is precisely what makes partition staleness (reads served
+behind the cut) and crash unavailability (reads into a dead cache)
+separately measurable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Sequence
+
+from repro.faults.plan import (
+    CrashNode,
+    FaultPlan,
+    Heal,
+    Partition,
+    RestartNode,
+    periodic_flap,
+    random_churn,
+)
+from repro.sim.rng import SeededRng
+
+#: Builds one plan from the deployment's store addresses and a fork of
+#: the point's seeded RNG.
+PlanBuilder = Callable[[Sequence[str], SeededRng], FaultPlan]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlanDef:
+    """One named fault scenario."""
+
+    name: str
+    description: str
+    build: PlanBuilder
+
+
+def _split(nodes: Sequence[str]) -> tuple:
+    """Split store addresses into (isolated subtree root, everything else).
+
+    The isolated side is the permanent store's first child -- the first
+    mirror when the tree has mirrors, else the first cache -- so the
+    same plan name isolates a comparable subtree at every grid size.
+    """
+    if len(nodes) < 2:
+        raise ValueError(
+            f"fault plans need at least two stores, got {list(nodes)!r}"
+        )
+    cut = (nodes[1],)
+    rest = tuple(n for n in nodes if n not in cut)
+    return cut, rest
+
+
+def _none_plan(nodes: Sequence[str], rng: SeededRng) -> FaultPlan:
+    """The fault-free baseline column."""
+    del nodes, rng
+    return FaultPlan()
+
+
+def _partition_heal(nodes: Sequence[str], rng: SeededRng) -> FaultPlan:
+    """One clean cut: isolate a child subtree for two seconds, then heal."""
+    del rng
+    cut, rest = _split(nodes)
+    return FaultPlan(events=(
+        Partition(at=2.0, side_a=cut, side_b=rest),
+        Heal(at=4.0, side_a=cut, side_b=rest),
+    ))
+
+
+def _flap(nodes: Sequence[str], rng: SeededRng) -> FaultPlan:
+    """A flapping link: the same cut going down every 1.5 s for 0.5 s."""
+    del rng
+    cut, rest = _split(nodes)
+    return periodic_flap(
+        side_a=cut, side_b=rest, period=1.5, down_for=0.5,
+        until=8.0, start=1.0,
+    )
+
+
+def _crash_restart(nodes: Sequence[str], rng: SeededRng) -> FaultPlan:
+    """One child store crashes for two seconds mid-run, then restarts."""
+    del rng
+    cut, _ = _split(nodes)
+    return FaultPlan(events=(
+        CrashNode(at=2.5, node=cut[0]),
+        RestartNode(at=4.5, node=cut[0]),
+    ))
+
+
+def _churn(nodes: Sequence[str], rng: SeededRng) -> FaultPlan:
+    """Seeded-random child-store churn; the permanent store stays up."""
+    children = list(nodes[1:])
+    return random_churn(
+        children, rng, until=8.0, mean_interval=1.5, down_for=1.0,
+    )
+
+
+#: The registered fault plans, in presentation (grid-column) order.
+FAULT_PLANS: Dict[str, FaultPlanDef] = {
+    plan.name: plan
+    for plan in (
+        FaultPlanDef(
+            name="none",
+            description="No faults: the baseline column.",
+            build=_none_plan,
+        ),
+        FaultPlanDef(
+            name="partition-heal",
+            description=(
+                "One child subtree partitioned from the rest of the "
+                "store tree at t=2s, healed at t=4s; reliable traffic "
+                "queues and flushes on heal."
+            ),
+            build=_partition_heal,
+        ),
+        FaultPlanDef(
+            name="flap",
+            description=(
+                "The same cut flapping: down 0.5s out of every 1.5s "
+                "between t=1s and t=8s."
+            ),
+            build=_flap,
+        ),
+        FaultPlanDef(
+            name="crash-restart",
+            description=(
+                "The first child store crashes at t=2.5s (its traffic "
+                "is dropped, not queued) and restarts at t=4.5s, "
+                "catching up through the demand/state-transfer read "
+                "path."
+            ),
+            build=_crash_restart,
+        ),
+        FaultPlanDef(
+            name="churn",
+            description=(
+                "Seeded-random child-store churn (the permanent store "
+                "stays up): Poisson crash arrivals (mean 1.5s) with 1s "
+                "outages until t=8s, derived from the point's "
+                "config-hash seed."
+            ),
+            build=_churn,
+        ),
+    )
+}
+
+
+def get_fault_plan(name: str) -> FaultPlanDef:
+    """Look up a registered plan; raise ``KeyError`` with the catalog."""
+    try:
+        return FAULT_PLANS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault plan {name!r}; "
+            f"registered: {', '.join(FAULT_PLANS)}"
+        ) from None
+
+
+def build_fault_plan(
+    name: str, nodes: Sequence[str], rng: SeededRng
+) -> FaultPlan:
+    """Expand a registered plan name against one deployment's stores."""
+    return get_fault_plan(name).build(nodes, rng)

@@ -1,0 +1,326 @@
+"""Declarative fault plans: ordered, timed fault events plus generators.
+
+A :class:`FaultPlan` is plain data -- a tuple of :class:`FaultEvent`\\ s,
+each stamped with a time offset (seconds from injector start) -- so the
+same plan can execute in virtual time (the simulator) or wall-clock time
+(the live runtime), be rendered into documentation, or be rebuilt
+deterministically from a sweep seed.  Event *content* names transport
+nodes only; nothing here knows about engines, stores or clients.
+
+Two parametric generators cover the scripted-scenario gap between "one
+hand-written partition" and "hostile weather": :func:`periodic_flap`
+(a link that goes down and comes back on a fixed cadence) and
+:func:`random_churn` (nodes crashing and restarting at seeded-random
+times, the classic availability workload).  Both return ordinary plans,
+so generated and hand-written events compose freely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.rng import SeededRng
+
+
+class FaultPlanError(ValueError):
+    """Raised when a fault plan or one of its events is malformed."""
+
+
+def _side(nodes: Sequence[str]) -> Tuple[str, ...]:
+    """Canonicalize one partition side into a sorted node tuple."""
+    side = tuple(sorted(set(nodes)))
+    if not side:
+        raise FaultPlanError("a partition side must name at least one node")
+    return side
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """Base fault event; ``at`` is seconds after the injector starts."""
+
+    at: float
+
+    def __post_init__(self) -> None:
+        """Reject negative event times at declaration."""
+        if self.at < 0:
+            raise FaultPlanError(f"event time must be >= 0, got {self.at!r}")
+
+    def describe(self) -> str:
+        """One-line human summary of the event."""
+        return f"t+{self.at:g}s {type(self).__name__}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Partition(FaultEvent):
+    """Cut connectivity between two node sets until a matching heal."""
+
+    side_a: Tuple[str, ...] = ()
+    side_b: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        """Canonicalize both sides and reject overlap."""
+        super().__post_init__()
+        object.__setattr__(self, "side_a", _side(self.side_a))
+        object.__setattr__(self, "side_b", _side(self.side_b))
+        overlap = set(self.side_a) & set(self.side_b)
+        if overlap:
+            raise FaultPlanError(
+                f"partition sides overlap on {sorted(overlap)}"
+            )
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return (
+            f"t+{self.at:g}s partition {'/'.join(self.side_a)} | "
+            f"{'/'.join(self.side_b)}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Heal(FaultEvent):
+    """Remove one partition (both sides given) or all of them (neither)."""
+
+    side_a: Optional[Tuple[str, ...]] = None
+    side_b: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        """Canonicalize sides; partial heals must name both sides."""
+        super().__post_init__()
+        if (self.side_a is None) != (self.side_b is None):
+            raise FaultPlanError(
+                "a partial heal names both sides; a full heal names neither"
+            )
+        if self.side_a is not None:
+            object.__setattr__(self, "side_a", _side(self.side_a))
+            object.__setattr__(self, "side_b", _side(self.side_b))
+
+    @property
+    def partial(self) -> bool:
+        """Whether this heal removes a single named partition."""
+        return self.side_a is not None
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        if not self.partial:
+            return f"t+{self.at:g}s heal all"
+        return (
+            f"t+{self.at:g}s heal {'/'.join(self.side_a)} | "
+            f"{'/'.join(self.side_b)}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class LossBurst(FaultEvent):
+    """Raise the unreliable-datagram loss rate for a bounded window."""
+
+    duration: float = 0.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        """Validate the burst window and rate."""
+        super().__post_init__()
+        if self.duration <= 0:
+            raise FaultPlanError(
+                f"loss burst duration must be > 0, got {self.duration!r}"
+            )
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise FaultPlanError(
+                f"loss rate must be in [0, 1), got {self.loss_rate!r}"
+            )
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return (
+            f"t+{self.at:g}s loss burst {self.loss_rate:g} "
+            f"for {self.duration:g}s"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashNode(FaultEvent):
+    """Take one node down: traffic to and from it is dropped."""
+
+    node: str = ""
+
+    def __post_init__(self) -> None:
+        """Require a node name."""
+        super().__post_init__()
+        if not self.node:
+            raise FaultPlanError("CrashNode needs a node name")
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return f"t+{self.at:g}s crash {self.node}"
+
+
+@dataclasses.dataclass(frozen=True)
+class RestartNode(FaultEvent):
+    """Bring a crashed node back; it rejoins with whatever it missed."""
+
+    node: str = ""
+
+    def __post_init__(self) -> None:
+        """Require a node name."""
+        super().__post_init__()
+        if not self.node:
+            raise FaultPlanError("RestartNode needs a node name")
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return f"t+{self.at:g}s restart {self.node}"
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault events executed by one injector.
+
+    Events execute in ``(at, declaration order)`` order; declaration
+    order breaks ties, so a plan that heals and re-partitions at the
+    same instant behaves exactly as written.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        """Canonicalize the event tuple and check cross-event sanity.
+
+        Crashes and restarts must pair per node, and a partial heal must
+        name a cut that a prior partition opened -- so a plan that would
+        only fail mid-run (where, on the live dispatcher, the error is
+        printed rather than raised and a soak hangs to its timeout)
+        fails at declaration instead.
+        """
+        object.__setattr__(self, "events", tuple(self.events))
+        down: set = set()
+        open_cuts: List[tuple] = []
+        for event in self.sorted_events():
+            if isinstance(event, CrashNode):
+                if event.node in down:
+                    raise FaultPlanError(
+                        f"{event.node} crashed twice without a restart"
+                    )
+                down.add(event.node)
+            elif isinstance(event, RestartNode):
+                if event.node not in down:
+                    raise FaultPlanError(
+                        f"restart of {event.node} without a prior crash"
+                    )
+                down.discard(event.node)
+            elif isinstance(event, Partition):
+                open_cuts.append(
+                    (frozenset(event.side_a), frozenset(event.side_b))
+                )
+            elif isinstance(event, Heal):
+                if not event.partial:
+                    open_cuts.clear()
+                    continue
+                cut = (frozenset(event.side_a), frozenset(event.side_b))
+                flipped = (cut[1], cut[0])
+                if cut in open_cuts:
+                    open_cuts.remove(cut)
+                elif flipped in open_cuts:
+                    open_cuts.remove(flipped)
+                else:
+                    raise FaultPlanError(
+                        f"heal of {'/'.join(event.side_a)} | "
+                        f"{'/'.join(event.side_b)} matches no open "
+                        "partition"
+                    )
+
+    def sorted_events(self) -> List[FaultEvent]:
+        """Events in execution order: by time, declaration order tie-break."""
+        indexed = sorted(
+            enumerate(self.events), key=lambda pair: (pair[1].at, pair[0])
+        )
+        return [event for _, event in indexed]
+
+    @property
+    def empty(self) -> bool:
+        """Whether the plan contains no events (the baseline plan)."""
+        return not self.events
+
+    def duration(self) -> float:
+        """Time of the last event (loss bursts include their window)."""
+        end = 0.0
+        for event in self.events:
+            at = event.at
+            if isinstance(event, LossBurst):
+                at += event.duration
+            end = max(end, at)
+        return end
+
+    def describe(self) -> str:
+        """Multi-line human summary, one event per line."""
+        if self.empty:
+            return "(no faults)"
+        return "\n".join(e.describe() for e in self.sorted_events())
+
+
+def periodic_flap(
+    side_a: Sequence[str],
+    side_b: Sequence[str],
+    period: float,
+    down_for: float,
+    until: float,
+    start: float = 0.0,
+) -> FaultPlan:
+    """A link that partitions and heals on a fixed cadence.
+
+    Every ``period`` seconds from ``start`` the two sides partition for
+    ``down_for`` seconds, then heal; flaps whose *start* lies beyond
+    ``until`` are not generated.  ``down_for`` must be shorter than
+    ``period`` so windows cannot overlap.
+    """
+    if period <= 0:
+        raise FaultPlanError(f"period must be > 0, got {period!r}")
+    if not 0 < down_for < period:
+        raise FaultPlanError(
+            f"down_for must be in (0, period), got {down_for!r}"
+        )
+    events: List[FaultEvent] = []
+    at = start
+    while at < until:
+        events.append(Partition(at=at, side_a=tuple(side_a),
+                                side_b=tuple(side_b)))
+        events.append(Heal(at=at + down_for, side_a=tuple(side_a),
+                           side_b=tuple(side_b)))
+        at += period
+    return FaultPlan(events=tuple(events))
+
+
+def random_churn(
+    nodes: Sequence[str],
+    rng: SeededRng,
+    until: float,
+    mean_interval: float = 2.0,
+    down_for: float = 1.0,
+    start: float = 0.0,
+) -> FaultPlan:
+    """Seeded-random node churn: crashes at Poisson times, timed restarts.
+
+    Crash times arrive with exponential inter-arrival ``mean_interval``
+    starting at ``start``; each crash picks a uniformly random node that
+    is currently up and restarts it ``down_for`` seconds later.  All
+    randomness comes from ``rng``, so the plan is a pure function of the
+    sweep's derived seed (stable config-hash seeding).
+    """
+    if not nodes:
+        raise FaultPlanError("random_churn needs at least one node")
+    if down_for <= 0:
+        raise FaultPlanError(f"down_for must be > 0, got {down_for!r}")
+    events: List[FaultEvent] = []
+    down_until: Dict[str, float] = {}
+    at = start
+    while True:
+        at += rng.exponential(mean_interval)
+        if at >= until:
+            break
+        up = [n for n in nodes if down_until.get(n, 0.0) <= at]
+        if not up:
+            continue
+        node = rng.choice(up)
+        events.append(CrashNode(at=at, node=node))
+        events.append(RestartNode(at=at + down_for, node=node))
+        down_until[node] = at + down_for
+    return FaultPlan(events=tuple(events))

@@ -58,6 +58,7 @@ def collect_traffic(
     dropped = (
         stats.datagrams_dropped_loss
         + stats.datagrams_dropped_partition
+        + stats.datagrams_dropped_crashed
         + stats.datagrams_dropped_unregistered
     )
     return TrafficSummary(

@@ -41,6 +41,7 @@ class ConstantLatency(LatencyModel):
         self.bandwidth_bps = bandwidth_bps
 
     def delay(self, src: str, dst: str, size_bytes: int) -> float:
+        """Constant base delay plus transmission time."""
         return self.base + self.transmission_time(size_bytes, self.bandwidth_bps)
 
 
@@ -67,6 +68,7 @@ class UniformLatency(LatencyModel):
         self.bandwidth_bps = bandwidth_bps
 
     def delay(self, src: str, dst: str, size_bytes: int) -> float:
+        """Uniformly jittered delay plus transmission time."""
         base = self.rng.uniform(self.low, self.high)
         return base + self.transmission_time(size_bytes, self.bandwidth_bps)
 
@@ -119,6 +121,7 @@ class RegionalLatency(LatencyModel):
         return self.default
 
     def delay(self, src: str, dst: str, size_bytes: int) -> float:
+        """Region-pair delay with jitter, plus transmission time."""
         base = self.base_delay(src, dst)
         if self.rng is not None and self.jitter_fraction > 0:
             jitter = base * self.jitter_fraction
@@ -147,6 +150,7 @@ class GraphLatency(LatencyModel):
         self._cache: Dict[Tuple[str, str], float] = {}
 
     def delay(self, src: str, dst: str, size_bytes: int) -> float:
+        """Shortest-path delay plus transmission time."""
         base = self._shortest(src, dst)
         return base + self.transmission_time(size_bytes, self.bandwidth_bps)
 

@@ -13,13 +13,19 @@ classes are offered to the transport layer above:
 This split mirrors the paper's prototype, which used TCP "for the sake of
 simplicity" while observing that the coherence protocol's own ordering would
 permit UDP (Section 4.2; measured in experiment X5).
+
+The partition / heal / crash machinery itself lives in
+:class:`~repro.faults.transport.FaultableTransportMixin`, shared with the
+wall-clock :class:`~repro.runtime.live.LiveNetwork` so one
+:class:`~repro.faults.plan.FaultPlan` runs identically on both substrates.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Optional, Sequence, Set, Tuple
 
+from repro.faults.transport import FaultableTransportMixin
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.sim.kernel import Simulator
 
@@ -29,12 +35,17 @@ ReceiveHandler = Callable[[str, object, int], None]
 
 @dataclasses.dataclass
 class NetworkStats:
-    """Counters for everything the network carried or dropped."""
+    """Counters for everything the network carried or dropped.
+
+    Both the simulated and the live transport fill the same counter set,
+    so fault metrics aggregate identically across backends.
+    """
 
     datagrams_sent: int = 0
     datagrams_delivered: int = 0
     datagrams_dropped_loss: int = 0
     datagrams_dropped_partition: int = 0
+    datagrams_dropped_crashed: int = 0
     datagrams_dropped_unregistered: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
@@ -49,7 +60,7 @@ class NodeNotRegistered(KeyError):
     """Raised when sending from a node that never registered a handler."""
 
 
-class Network:
+class Network(FaultableTransportMixin):
     """Simulated datagram network between named nodes."""
 
     def __init__(
@@ -58,17 +69,14 @@ class Network:
         latency: Optional[LatencyModel] = None,
         loss_rate: float = 0.0,
     ) -> None:
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate!r}")
         self.sim = sim
         self.latency = latency or ConstantLatency()
-        self.loss_rate = loss_rate
         self.stats = NetworkStats()
         self._handlers: Dict[str, ReceiveHandler] = {}
         self._fifo_clock: Dict[Tuple[str, str], float] = {}
-        self._partitions: List[Tuple[FrozenSet[str], FrozenSet[str]]] = []
-        self._partition_queue: List[Tuple[str, str, object, int]] = []
-        self._loss_rng = sim.rng.fork("network-loss")
+        self._init_faults(
+            loss_rng=sim.rng.fork("network-loss"), loss_rate=loss_rate
+        )
 
     # -- membership -----------------------------------------------------------
 
@@ -83,28 +91,6 @@ class Network:
     def is_registered(self, node: str) -> bool:
         """Whether a node currently has a receive handler."""
         return node in self._handlers
-
-    # -- partitions -------------------------------------------------------------
-
-    def partition(self, side_a: Sequence[str], side_b: Sequence[str]) -> None:
-        """Cut connectivity between two node sets until :meth:`heal`."""
-        self._partitions.append((frozenset(side_a), frozenset(side_b)))
-
-    def heal(self) -> None:
-        """Remove all partitions and flush queued reliable traffic."""
-        self._partitions.clear()
-        queued, self._partition_queue = self._partition_queue, []
-        for src, dst, payload, size in queued:
-            self._deliver_reliable(src, dst, payload, size)
-
-    def partitioned(self, src: str, dst: str) -> bool:
-        """Whether a partition currently separates ``src`` and ``dst``."""
-        for side_a, side_b in self._partitions:
-            if (src in side_a and dst in side_b) or (
-                src in side_b and dst in side_a
-            ):
-                return True
-        return False
 
     # -- sending ----------------------------------------------------------------
 
@@ -124,11 +110,7 @@ class Network:
         if dst not in self._handlers:
             self.stats.datagrams_dropped_unregistered += 1
             return
-        if self.partitioned(src, dst):
-            if reliable:
-                self._partition_queue.append((src, dst, payload, size_bytes))
-            else:
-                self.stats.datagrams_dropped_partition += 1
+        if self._fault_blocked(src, dst, payload, size_bytes, reliable):
             return
         if reliable:
             self._deliver_reliable(src, dst, payload, size_bytes)
@@ -167,13 +149,14 @@ class Network:
     def _deliver_unreliable(
         self, src: str, dst: str, payload: object, size_bytes: int
     ) -> None:
-        if self.loss_rate > 0 and self._loss_rng.bernoulli(self.loss_rate):
-            self.stats.datagrams_dropped_loss += 1
+        if self._lose_unreliable():
             return
         delay = self.latency.delay(src, dst, size_bytes)
         self.sim.schedule(delay, self._arrive, src, dst, payload, size_bytes)
 
     def _arrive(self, src: str, dst: str, payload: object, size_bytes: int) -> None:
+        if self._crashed_at_arrival(dst):
+            return
         handler = self._handlers.get(dst)
         if handler is None:
             self.stats.datagrams_dropped_unregistered += 1

@@ -42,11 +42,15 @@ class CellStats:
 
 @dataclasses.dataclass(frozen=True)
 class MetricTable:
-    """One metric over the whole grid: protocol rows, workload/size cols."""
+    """One metric over the whole grid: protocol rows, (column, size) cols.
+
+    The column-axis string is a workload name on classic grids and a
+    fault-plan name on fault grids; the table is agnostic.
+    """
 
     metric: MetricDef
     rows: Tuple[str, ...]
-    #: Column keys in declaration order: ``(workload, size)`` pairs.
+    #: Column keys in declaration order: ``(workload-or-plan, size)``.
     cols: Tuple[Tuple[str, int], ...]
     cells: Mapping[Tuple[str, Tuple[str, int]], CellStats]
 
@@ -72,33 +76,34 @@ def aggregate(
     can never render as an empty-looking cell.
     """
     rows = grid.protocols
+    keys = grid.metric_keys()
     cols: Tuple[Tuple[str, int], ...] = tuple(
-        (workload, size)
-        for workload in grid.workloads
+        (col, size)
+        for col in grid.col_values()
         for size in grid.sizes
     )
     per_metric: Dict[str, Dict[Tuple[str, Tuple[str, int]], CellStats]] = {
-        key: {} for key in METRICS
+        key: {} for key in keys
     }
     for protocol in rows:
-        for workload, size in cols:
-            samples: Dict[str, List[float]] = {key: [] for key in METRICS}
+        for col, size in cols:
+            samples: Dict[str, List[float]] = {key: [] for key in keys}
             for rep in range(grid.replications):
-                label = grid.cell_label(protocol, workload, size, rep)
+                label = grid.cell_label(protocol, col, size, rep)
                 if label not in results:
                     raise KeyError(
                         f"grid {grid.name!r} is missing point {label!r}; "
                         "was the sweep run with a different grid definition?"
                     )
                 point = results[label]
-                for key in METRICS:
+                for key in keys:
                     if key not in point:
                         raise KeyError(
                             f"point {label!r} lacks metric {key!r}"
                         )
                     samples[key].append(float(point[key]))
             for key, values in samples.items():
-                per_metric[key][(protocol, (workload, size))] = (
+                per_metric[key][(protocol, (col, size))] = (
                     CellStats.from_values(values)
                 )
     return {
@@ -108,7 +113,7 @@ def aggregate(
             cols=cols,
             cells=per_metric[key],
         )
-        for key in METRICS
+        for key in keys
     }
 
 

@@ -10,10 +10,16 @@ grid into a :class:`~repro.exec.SweepSpec` via
 through the cached parallel runner -- so a grid is grown incrementally:
 every finished cell stays cached and re-renders are near-instant.
 
-Point configs carry only *names* (protocol, workload) plus scalars; the
-expansion to policies and traffic lives in the registries here and in
-:mod:`repro.workload.profiles`.  Any edit to those sources rotates the
+Point configs carry only *names* (protocol, workload, fault plan) plus
+scalars; the expansion to policies, traffic and fault events lives in the
+registries here, in :mod:`repro.workload.profiles` and in
+:mod:`repro.faults.catalog`.  Any edit to those sources rotates the
 cache's code fingerprint, so stale grid cells can never be served.
+
+A grid whose :attr:`GridDef.fault_plans` is non-empty is a *fault grid*
+(experiment X11): its column axis is the fault plan instead of the
+workload, and the partition-aware metric columns
+(:data:`FAULT_METRIC_KEYS`) join the base set.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import dataclasses
 from typing import Any, Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
 from repro.exec import ResultCache, SweepSpec, run_sweep
+from repro.faults.catalog import FAULT_PLANS
 from repro.replication.policy import (
     AccessTransfer,
     CoherenceTransfer,
@@ -197,8 +204,60 @@ METRICS: Dict[str, MetricDef] = {
                 "round trips for outdated replicas."
             ),
         ),
+        MetricDef(
+            key="unavailable_fraction",
+            title="Unavailable read fraction",
+            unit="fraction",
+            fmt=".3f",
+            description=(
+                "Fraction of issued reads never served: dropped into a "
+                "crashed store, timed out, or still pending at run end."
+            ),
+        ),
+        MetricDef(
+            key="partition_stale_lag",
+            title="Staleness under partition",
+            unit="s",
+            fmt=".3f",
+            description=(
+                "Mean staleness time lag of reads served by stores cut "
+                "off from their parent while a partition was active "
+                "(reads on the connected side are excluded)."
+            ),
+        ),
+        MetricDef(
+            key="recovery_lag",
+            title="Recovery lag after heal",
+            unit="s",
+            fmt=".3f",
+            description=(
+                "Mean time from each heal/restart until every replica "
+                "covered the writes acknowledged before it."
+            ),
+        ),
     )
 }
+
+#: Extra metric keys only fault grids report (and only
+#: :func:`run_fault_grid_point` produces).
+FAULT_METRIC_KEYS: Tuple[str, ...] = (
+    "unavailable_fraction",
+    "partition_stale_lag",
+    "recovery_lag",
+)
+
+#: Metric keys of the classic (fault-free) grids: derived from the
+#: registry so a newly registered MetricDef joins every book without a
+#: second list to update.
+BASE_METRIC_KEYS: Tuple[str, ...] = tuple(
+    key for key in METRICS if key not in FAULT_METRIC_KEYS
+)
+
+#: Client request timeout/retries for fault-grid points: operations into
+#: a crashed store fail fast (and count as unavailable) instead of
+#: stalling their client for the rest of the run.
+FAULT_REQUEST_TIMEOUT = 1.0
+FAULT_REQUEST_RETRIES = 1
 
 
 def run_grid_point(config: Dict[str, Any], seed: int) -> Dict[str, float]:
@@ -218,6 +277,11 @@ def run_grid_point(config: Dict[str, Any], seed: int) -> Dict[str, float]:
         seed=seed,
         horizon=strategy.horizon,
     )
+    return _base_metrics(deployment)
+
+
+def _base_metrics(deployment) -> Dict[str, float]:
+    """Extract the base metric set from one finished deployment."""
     # Imported here (not module top) to keep the report layer importable
     # without dragging the whole experiments package in at import time.
     from repro.experiments.harness import measure
@@ -232,9 +296,43 @@ def run_grid_point(config: Dict[str, Any], seed: int) -> Dict[str, float]:
     }
 
 
+def run_fault_grid_point(config: Dict[str, Any], seed: int) -> Dict[str, float]:
+    """Evaluate one fault-grid cell: one policy, one fault plan, one tree.
+
+    Like :func:`run_grid_point` plus a ``fault_plan`` name expanded by
+    :func:`~repro.workload.profiles.run_profile` (stable config-hash
+    seeding: the plan's RNG forks from this point's derived seed) and
+    the partition-aware metric columns from
+    :mod:`repro.metrics.faults`.
+    """
+    from repro.metrics.faults import fault_run_metrics
+
+    strategy = STRATEGIES[config["protocol"]]
+    profile = get_profile(config["workload"])
+    deployment = run_profile(
+        strategy.build_policy(),
+        profile,
+        n_caches=int(config["n_caches"]),
+        seed=seed,
+        horizon=strategy.horizon,
+        fault_plan=config["fault_plan"],
+        request_timeout=FAULT_REQUEST_TIMEOUT,
+        request_retries=FAULT_REQUEST_RETRIES,
+    )
+    result = _base_metrics(deployment)
+    result.update(fault_run_metrics(deployment))
+    return result
+
+
 @dataclasses.dataclass(frozen=True)
 class GridDef:
-    """One named dense sweep over (protocol x workload x size x rep)."""
+    """One named dense sweep over (protocol x column axis x size x rep).
+
+    The column axis is the workload profile by default; a grid with
+    ``fault_plans`` set is a *fault grid*: its column axis is the fault
+    plan (experiment X11), the single entry of ``workloads`` is held
+    fixed in every cell, and the partition-aware metrics join the book.
+    """
 
     name: str
     title: str
@@ -244,15 +342,50 @@ class GridDef:
     sizes: Tuple[int, ...]
     replications: int
     base_seed: int = 0
+    fault_plans: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        """Validate the fault-grid shape at declaration time."""
+        if self.fault_plans and len(self.workloads) != 1:
+            raise ValueError(
+                f"fault grid {self.name!r} must fix exactly one "
+                f"workload, got {self.workloads!r}"
+            )
+
+    @property
+    def is_fault_grid(self) -> bool:
+        """Whether the column axis is the fault plan."""
+        return bool(self.fault_plans)
+
+    @property
+    def col_axis(self) -> str:
+        """Config-key name of the column axis."""
+        return "fault_plan" if self.is_fault_grid else "workload"
+
+    def col_values(self) -> Tuple[str, ...]:
+        """Values of the column axis, in declaration order."""
+        return self.fault_plans if self.is_fault_grid else self.workloads
+
+    def metric_keys(self) -> Tuple[str, ...]:
+        """The metric columns this grid's book renders."""
+        if self.is_fault_grid:
+            return BASE_METRIC_KEYS + FAULT_METRIC_KEYS
+        return BASE_METRIC_KEYS
 
     def axes(self) -> "Dict[str, Tuple[Any, ...]]":
         """Ordered grid axes, last varying fastest (``rep`` innermost)."""
         return {
             "protocol": self.protocols,
-            "workload": self.workloads,
+            self.col_axis: self.col_values(),
             "n_caches": self.sizes,
             "rep": tuple(range(self.replications)),
         }
+
+    def fixed_config(self) -> Optional[Dict[str, Any]]:
+        """Constant config entries merged into every point (or ``None``)."""
+        if self.is_fault_grid:
+            return {"workload": self.workloads[0]}
+        return None
 
     def point_count(self) -> int:
         """Total number of points in the dense cross product."""
@@ -261,10 +394,14 @@ class GridDef:
             total *= len(values)
         return total
 
-    def cell_label(self, protocol: str, workload: str, size: int,
+    def cell_label(self, protocol: str, col: str, size: int,
                    rep: int) -> Hashable:
-        """The sweep-point label of one (cell, replication)."""
-        return (protocol, workload, size, rep)
+        """The sweep-point label of one (cell, replication).
+
+        ``col`` is the column-axis value: a workload name, or a fault
+        plan name on a fault grid.
+        """
+        return (protocol, col, size, rep)
 
 
 #: The named grids ``python -m repro.report --grid`` accepts.
@@ -296,6 +433,35 @@ GRIDS: Dict[str, GridDef] = {
             sizes=(2, 4),
             replications=2,
         ),
+        GridDef(
+            name="x11-faults",
+            title="Fault grid: strategy x fault plan x tree size",
+            description=(
+                "Every fault-grid strategy under every registered fault "
+                "plan at two tree sizes, balanced workload, two "
+                "replications per cell.  Partitions queue reliable "
+                "traffic and flush on heal; crashes drop it; plans run "
+                "identically on the sim and live transports."
+            ),
+            protocols=("push-update", "push-invalidate", "pull-periodic"),
+            workloads=("balanced",),
+            sizes=(2, 4),
+            replications=2,
+            fault_plans=tuple(FAULT_PLANS),
+        ),
+        GridDef(
+            name="x11-faults-small",
+            title="Small fault grid",
+            description=(
+                "A 2x2x1 corner of the fault grid with two replications "
+                "per cell; the fault golden-test and smoke grid."
+            ),
+            protocols=("push-update", "push-invalidate"),
+            workloads=("balanced",),
+            sizes=(2,),
+            replications=2,
+            fault_plans=("none", "partition-heal"),
+        ),
     )
 }
 
@@ -326,13 +492,20 @@ def get_grid(name: str) -> GridDef:
 
 
 def grid_spec(grid: GridDef) -> SweepSpec:
-    """Expand a grid into its dense-cross-product :class:`SweepSpec`."""
+    """Expand a grid into its dense-cross-product :class:`SweepSpec`.
+
+    Fault grids use :func:`run_fault_grid_point` and carry their fixed
+    workload as constant config (part of every point's config hash, so
+    the fault axis seeds stably without widening the labels).
+    """
     spec = SweepSpec(
         name=f"report-{grid.name}",
-        run_point=run_grid_point,
+        run_point=(
+            run_fault_grid_point if grid.is_fault_grid else run_grid_point
+        ),
         base_seed=grid.base_seed,
     )
-    spec.add_grid(**grid.axes())
+    spec.add_grid(_fixed=grid.fixed_config(), **grid.axes())
     return spec
 
 

@@ -14,6 +14,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional
 
+from repro.faults.transport import FaultableTransportMixin
 from repro.net.network import NetworkStats
 from repro.sim.rng import SeededRng
 
@@ -148,11 +149,17 @@ class LiveLoop:
                     self._busy = False
 
 
-class LiveNetwork:
+class LiveNetwork(FaultableTransportMixin):
     """In-process message delivery compatible with the Network interface.
 
     Delivery happens on the loop's dispatcher thread after the configured
-    latency, preserving the single-threaded protocol model.
+    latency, preserving the single-threaded protocol model.  The full
+    fault control surface of the simulated network (partitions with
+    reliable-traffic queueing, partial heal, crash/restart, loss bursts)
+    comes from the shared
+    :class:`~repro.faults.transport.FaultableTransportMixin`; fault
+    mutations must run on the dispatcher thread (route through
+    ``Backend.call`` or a :class:`~repro.faults.injector.FaultInjector`).
     """
 
     def __init__(self, loop: LiveLoop, latency: float = 0.0) -> None:
@@ -161,6 +168,7 @@ class LiveNetwork:
         self.stats = NetworkStats()
         self._handlers: Dict[str, Callable] = {}
         self._lock = threading.Lock()
+        self._init_faults(loss_rng=loop.rng.fork("network-loss"))
 
     def register(self, node: str, handler: Callable) -> None:
         """Attach a node's receive handler."""
@@ -188,18 +196,39 @@ class LiveNetwork:
         """Deliver after the configured latency, on the dispatcher."""
         self.stats.datagrams_sent += 1
         self.stats.bytes_sent += size_bytes
+        if self._fault_blocked(src, dst, payload, size_bytes, reliable):
+            return
+        if reliable:
+            self._deliver_reliable(src, dst, payload, size_bytes)
+        else:
+            self._deliver_unreliable(src, dst, payload, size_bytes)
 
-        def deliver() -> None:
-            with self._lock:
-                handler = self._handlers.get(dst)
-            if handler is None:
-                self.stats.datagrams_dropped_unregistered += 1
-                return
-            self.stats.datagrams_delivered += 1
-            self.stats.bytes_delivered += size_bytes
-            handler(src, payload, size_bytes)
+    def _deliver_reliable(self, src: str, dst: str, payload: object,
+                          size_bytes: int) -> None:
+        """Schedule dispatcher delivery; loop seq order keeps pairs FIFO."""
+        self.loop.schedule(self.latency, self._arrive, src, dst, payload,
+                           size_bytes)
 
-        self.loop.schedule(self.latency, deliver)
+    def _deliver_unreliable(self, src: str, dst: str, payload: object,
+                            size_bytes: int) -> None:
+        """Unreliable delivery: subject to the (fault-driven) loss rate."""
+        if self._lose_unreliable():
+            return
+        self.loop.schedule(self.latency, self._arrive, src, dst, payload,
+                           size_bytes)
+
+    def _arrive(self, src: str, dst: str, payload: object,
+                size_bytes: int) -> None:
+        if self._crashed_at_arrival(dst):
+            return
+        with self._lock:
+            handler = self._handlers.get(dst)
+        if handler is None:
+            self.stats.datagrams_dropped_unregistered += 1
+            return
+        self.stats.datagrams_delivered += 1
+        self.stats.bytes_delivered += size_bytes
+        handler(src, payload, size_bytes)
 
     def multicast(self, src: str, dsts, payload: object,
                   size_bytes: int = 0, reliable: bool = True) -> None:

@@ -102,10 +102,11 @@ class SimBackend(Backend):
         return self.clock
 
     def call(self, fn: Callable[..., Any], *args: Any) -> Any:
-        # The caller's thread *is* the protocol thread in virtual time.
+        """Run directly: the caller's thread is the protocol thread."""
         return fn(*args)
 
     def wait(self, future: Future, timeout: Optional[float] = None) -> Any:
+        """Step events until the future resolves (virtual-time deadline)."""
         deadline = None if timeout is None else self.clock.now + timeout
         while not future.done:
             if deadline is not None and self.clock.now >= deadline:
@@ -119,14 +120,17 @@ class SimBackend(Backend):
         return future.result()
 
     def advance(self, seconds: float) -> None:
+        """Run the event loop for ``seconds`` of virtual time."""
         self.clock.run(until=self.clock.now + seconds)
 
     def settle(self, timeout: float = 5.0, grace: float = 0.05) -> None:
+        """Drain the event queue to (non-daemon) quiescence."""
         self.clock.run_until_idle()
 
     def wait_until(
         self, predicate: Callable[[], bool], timeout: float = 5.0
     ) -> bool:
+        """Step events until ``predicate()`` holds or virtual time runs out."""
         deadline = self.clock.now + timeout
         while not predicate():
             if self.clock.now >= deadline or not self.clock.step():
@@ -169,16 +173,20 @@ class LiveBackend(Backend):
         self.call_timeout = call_timeout
 
     def start(self) -> None:
+        """Start the dispatcher thread."""
         self.clock.start()
 
     def stop(self) -> None:
+        """Stop the dispatcher thread."""
         self.clock.stop()
 
     def call(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn(*args)`` on the dispatcher; block for its result."""
         done = threading.Event()
         box: dict = {}
 
         def run() -> None:
+            """Dispatcher-side shim relaying the result or error."""
             try:
                 box["value"] = fn(*args)
             except BaseException as exc:  # relayed to the caller below
@@ -196,6 +204,7 @@ class LiveBackend(Backend):
         return box["value"]
 
     def wait(self, future: Future, timeout: Optional[float] = None) -> Any:
+        """Poll wall-clock time until the future resolves."""
         limit = self.call_timeout if timeout is None else timeout
         deadline = time.monotonic() + limit
         while not future.done:
@@ -205,9 +214,11 @@ class LiveBackend(Backend):
         return future.result()
 
     def advance(self, seconds: float) -> None:
+        """Sleep: live protocol time only passes on the wall clock."""
         time.sleep(max(0.0, seconds))
 
     def settle(self, timeout: float = 5.0, grace: float = 0.05) -> None:
+        """Poll until the loop looks idle, then absorb in-flight work."""
         deadline = time.monotonic() + timeout
         while not self.clock.idle:
             if time.monotonic() >= deadline:
@@ -219,6 +230,7 @@ class LiveBackend(Backend):
     def wait_until(
         self, predicate: Callable[[], bool], timeout: float = 5.0
     ) -> bool:
+        """Poll wall-clock time until ``predicate()`` holds."""
         deadline = time.monotonic() + timeout
         while not predicate():
             if time.monotonic() >= deadline:

@@ -102,6 +102,9 @@ def run_profile(
     seed: int,
     pages: Optional[Dict[str, str]] = None,
     horizon: Optional[float] = None,
+    fault_plan: Optional[str] = None,
+    request_timeout: Optional[float] = None,
+    request_retries: int = 0,
 ) -> Deployment:
     """Drive ``profile`` over a fresh Fig. 2 tree under ``policy``.
 
@@ -110,6 +113,13 @@ def run_profile(
     completion (or to ``horizon`` when set -- pull-based policies never
     quiesce on their own), drains the final lazy window, and returns the
     finished deployment for measurement.
+
+    ``fault_plan`` names a registered :data:`repro.faults.FAULT_PLANS`
+    entry; the plan is expanded against the tree's store addresses with
+    an RNG forked from this run's seed (stable config-hash seeding) and
+    executed by a timed :class:`~repro.faults.FaultInjector` attached as
+    ``deployment.faults``.  ``request_timeout`` / ``request_retries``
+    are passed to every browser so client operations survive outages.
     """
     pages = pages if pages is not None else default_pages()
     deployment = build_tree(
@@ -118,6 +128,8 @@ def run_profile(
         n_readers_per_cache=1,
         pages=dict(pages),
         seed=seed,
+        request_timeout=request_timeout,
+        request_retries=request_retries,
     )
     sim = deployment.sim
     rng = sim.rng.fork("workload")
@@ -143,6 +155,19 @@ def run_profile(
                 operations=profile.reads_per_client,
             )
         )
+    if fault_plan is not None:
+        # Forked *after* the workload RNG so fault-free sweeps keep their
+        # historical fork order (and therefore their cached results).
+        from repro.faults import FaultInjector, build_fault_plan
+
+        plan = build_fault_plan(
+            fault_plan,
+            nodes=[store.address for store in deployment.site.stores()],
+            rng=sim.rng.fork("faults"),
+        )
+        injector = FaultInjector(sim, deployment.network, plan)
+        injector.start()
+        deployment.faults = injector
     for index, workload in enumerate(workloads):
         Process(sim, workload.run(), name=f"wl-{index}")
     sim.run(until=horizon, max_events=10_000_000)

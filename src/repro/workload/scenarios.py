@@ -42,6 +42,9 @@ class Deployment:
     caches: List[Store]
     browsers: Dict[str, Browser]
     backend: Optional[Backend] = None
+    #: The fault injector driving this run's fault plan, when one is
+    #: attached (see :func:`repro.workload.profiles.run_profile`).
+    faults: Optional[Any] = None
 
     @property
     def engines(self) -> List[object]:
@@ -149,6 +152,8 @@ def build_tree(
     backend: Union[str, Backend] = "sim",
     live_latency: float = 0.005,
     start_backend: bool = True,
+    request_timeout: Optional[float] = None,
+    request_retries: int = 0,
 ) -> Deployment:
     """Build the canonical Fig. 2 tree.
 
@@ -168,6 +173,10 @@ def build_tree(
     ``start_backend`` is false (builders that wire more address spaces
     on top pass ``False`` and start the backend themselves); callers own
     the teardown via :meth:`Deployment.shutdown`.
+
+    ``request_timeout`` / ``request_retries`` apply to every browser
+    bound here: fault scenarios set them so reads into a crashed store
+    fail fast (and count as unavailable) instead of stalling the client.
     """
     backend_obj = _resolve_backend(backend, seed, latency, live_latency,
                                    loss_rate)
@@ -198,6 +207,8 @@ def build_tree(
         read_store=master_read,
         write_store="server",
         guarantees=master_guarantees,
+        request_timeout=request_timeout,
+        request_retries=request_retries,
     )
     for index, cache in enumerate(caches):
         for reader in range(n_readers_per_cache):
@@ -207,6 +218,8 @@ def build_tree(
                 client_id,
                 read_store=cache.address,
                 guarantees=reader_guarantees,
+                request_timeout=request_timeout,
+                request_retries=request_retries,
             )
     # Start executing protocol events only once the whole tree is wired,
     # so live deployments assemble without racing their own traffic.

@@ -1,0 +1,97 @@
+"""Golden fault parity: one fault plan, two substrates, one behaviour.
+
+The acceptance claim of the fault layer: a :class:`~repro.faults.plan.
+FaultPlan` (partition 2s -> heal, one crash/restart), applied at
+convergence barriers over a scripted workload, produces the identical
+time-free coherence signature on ``backend="sim"`` and
+``backend="live"`` -- and that signature is pinned byte-for-byte in
+``tests/golden/fault_smoke_signature.json`` so a protocol change under
+faults cannot slip through as "both backends drifted the same way".
+
+Regenerate the golden file after an *intended* protocol change with::
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.faults.scenario import fault_smoke_point
+    out = fault_smoke_point({"backend": "sim", "seed": 7}, seed=0)
+    sig = json.loads(json.dumps(out["signature"], sort_keys=True))
+    with open("tests/golden/fault_smoke_signature.json", "w") as fh:
+        json.dump(sig, fh, indent=1, sort_keys=True)
+        fh.write("\\n")
+    PY
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.faults.scenario import fault_smoke_point
+
+SEED = 7
+
+GOLDEN = Path(__file__).parent / "golden" / "fault_smoke_signature.json"
+
+
+def canonical(signature):
+    """JSON round-trip: tuples become lists, keys sort stably."""
+    return json.loads(json.dumps(signature, sort_keys=True))
+
+
+class TestGoldenFaultParity:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        config = {"seed": SEED}
+        return {
+            backend: fault_smoke_point(dict(config, backend=backend), seed=0)
+            for backend in ("sim", "live")
+        }
+
+    def test_scenario_phases_complete_on_both_backends(self, outcomes):
+        for backend, outcome in outcomes.items():
+            assert outcome["converged_initial"], backend
+            assert outcome["warm_reads_ok"], backend
+            assert outcome["converged_during_partition"], backend
+            assert outcome["stale_read_under_partition"], (
+                f"{backend}: the cut cache should have served stale state"
+            )
+            assert outcome["recovered_after_heal"], backend
+            assert outcome["converged_during_crash"], backend
+            assert outcome["unavailable_reads"] == 1, (
+                f"{backend}: the read into the crashed cache should fail"
+            )
+            assert outcome["demand_refresh_ok"], (
+                f"{backend}: the RYW read should demand the missed write"
+            )
+            assert outcome["recovered_after_restart"], backend
+
+    def test_crash_drops_counted_identically(self, outcomes):
+        assert (
+            outcomes["sim"]["dropped_crashed"]
+            == outcomes["live"]["dropped_crashed"]
+            > 0
+        )
+
+    def test_final_versions_identical_and_converged(self, outcomes):
+        assert outcomes["sim"]["versions"] == outcomes["live"]["versions"]
+        assert all(
+            version == {"master": 3}
+            for version in outcomes["sim"]["versions"].values()
+        )
+
+    def test_signatures_match_across_backends(self, outcomes):
+        sim_signature = canonical(outcomes["sim"]["signature"])
+        live_signature = canonical(outcomes["live"]["signature"])
+        assert sorted(sim_signature) == sorted(live_signature)
+        for lane in sim_signature:
+            assert sim_signature[lane] == live_signature[lane], (
+                f"fault scenario diverged between backends in lane {lane}"
+            )
+
+    def test_signature_matches_golden_file(self, outcomes):
+        golden = json.loads(GOLDEN.read_text())
+        assert canonical(outcomes["sim"]["signature"]) == golden, (
+            "the fault scenario's coherence history changed; if this is "
+            "an intended protocol change, regenerate the golden file "
+            "(see module docstring)"
+        )

@@ -1,0 +1,132 @@
+"""Tests for the partition-aware metrics."""
+
+from repro.coherence.trace import TraceRecorder
+from repro.core.ids import WriteId
+from repro.metrics.faults import (
+    fault_run_metrics,
+    recovery_lag_after_heal,
+    staleness_under_partition,
+    unavailable_read_fraction,
+)
+from repro.report.grid import STRATEGIES
+from repro.workload.profiles import get_profile, run_profile
+
+
+class FakeClient:
+    def __init__(self, issued, served):
+        self.reads_issued = issued
+        self.op_latencies = [("read", 0.1)] * served + [("write", 0.1)]
+
+
+def test_unavailable_read_fraction_counts_unserved_reads():
+    assert unavailable_read_fraction([]) == 0.0
+    assert unavailable_read_fraction([FakeClient(0, 0)]) == 0.0
+    assert unavailable_read_fraction([FakeClient(10, 10)]) == 0.0
+    assert unavailable_read_fraction(
+        [FakeClient(10, 8), FakeClient(10, 10)]
+    ) == 0.1
+
+
+def _traced_run():
+    """One small stale-read trace: ack at t=1, stale read at t=2."""
+    trace = TraceRecorder()
+    wid = WriteId(client_id="m", seqno=1)
+    trace.record_write_issue(time=0.5, client_id="m", wid=wid, store="s")
+    trace.record_apply(time=0.9, store="s", wid=wid, applied_vc={"m": 1})
+    trace.record_write_ack(time=1.0, client_id="m", wid=wid, store="s")
+    trace.record_read(time=2.0, store="c", client_id="r", served_vc={})
+    trace.record_apply(time=3.5, store="c", wid=wid, applied_vc={"m": 1})
+    return trace
+
+
+CUT = (frozenset({"c"}), frozenset({"s"}))
+PARENTS = {"s": None, "c": "s"}
+
+
+def test_staleness_under_partition_filters_by_window():
+    trace = _traced_run()
+    # The stale read at t=2 lags the t=1 ack by one second.
+    assert staleness_under_partition(
+        trace, [(1.5, 2.5, CUT)], PARENTS
+    ) == 1.0
+    assert staleness_under_partition(
+        trace, [(3.0, 4.0, CUT)], PARENTS
+    ) == 0.0
+    assert staleness_under_partition(trace, [], PARENTS) == 0.0
+
+
+def test_staleness_under_partition_excludes_connected_stores():
+    trace = _traced_run()
+    # A cut elsewhere in the tree does not separate c from its parent,
+    # so c's reads are not "under partition" -- no dilution by (or
+    # attribution to) the connected side.
+    elsewhere = (frozenset({"other"}), frozenset({"s"}))
+    assert staleness_under_partition(
+        trace, [(1.5, 2.5, elsewhere)], PARENTS
+    ) == 0.0
+    # And the primary (no parent) never counts.
+    assert staleness_under_partition(
+        trace, [(1.5, 2.5, (frozenset({"s"}), frozenset({"c"})))],
+        {"s": None},
+    ) == 0.0
+
+
+def test_recovery_lag_measures_time_to_cover_acked_writes():
+    trace = _traced_run()
+    # Mark at t=1.5: store c covers {m:1} only at t=3.5 -> lag 2.0;
+    # store s was already current -> the max rules.
+    assert recovery_lag_after_heal(trace, [1.5]) == 2.0
+    # A mark before any ack has nothing to recover.
+    assert recovery_lag_after_heal(trace, [0.1]) == 0.0
+    assert recovery_lag_after_heal(trace, []) == 0.0
+
+
+def test_recovery_lag_charges_unrecovered_stores_to_trace_end():
+    trace = TraceRecorder()
+    wid = WriteId(client_id="m", seqno=1)
+    trace.record_apply(time=0.9, store="s", wid=wid, applied_vc={"m": 1})
+    trace.record_write_ack(time=1.0, client_id="m", wid=wid, store="s")
+    trace.record_read(time=6.0, store="c", client_id="r", served_vc={})
+    trace.record_apply(time=6.0, store="c",
+                       wid=WriteId(client_id="x", seqno=1),
+                       applied_vc={"x": 1})
+    # Store c never covers {m:1}; charged to the end of the trace (6.0).
+    assert recovery_lag_after_heal(trace, [2.0]) == 4.0
+
+
+def test_fault_run_metrics_on_fault_free_run_degenerates():
+    deployment = run_profile(
+        STRATEGIES["push-update"].build_policy(),
+        get_profile("balanced"),
+        n_caches=2,
+        seed=3,
+    )
+    metrics = fault_run_metrics(deployment)
+    assert metrics == {
+        "unavailable_fraction": 0.0,
+        "partition_stale_lag": 0.0,
+        "recovery_lag": 0.0,
+    }
+
+
+def test_fault_run_metrics_sees_partition_effects():
+    deployment = run_profile(
+        STRATEGIES["push-invalidate"].build_policy(),
+        get_profile("balanced"),
+        n_caches=2,
+        seed=3,
+        fault_plan="partition-heal",
+        request_timeout=1.0,
+        request_retries=1,
+    )
+    assert deployment.faults is not None
+    assert deployment.faults.partition_windows(
+        until=deployment.sim.now
+    ) == [(2.0, 4.0)]
+    cuts = deployment.faults.cut_windows(until=deployment.sim.now)
+    assert [(start, end) for start, end, _ in cuts] == [(2.0, 4.0)]
+    metrics = fault_run_metrics(deployment)
+    assert set(metrics) == {
+        "unavailable_fraction", "partition_stale_lag", "recovery_lag",
+    }
+    assert metrics["recovery_lag"] > 0.0

@@ -116,6 +116,124 @@ def test_partition_blocks_and_heal_flushes_reliable():
     assert [p for _, p, _ in received] == ["queued"]
 
 
+def test_heal_flush_is_deterministic_send_order():
+    sim = Simulator()
+    net = make_net(sim)
+    received = []
+    for name in "abcd":
+        net.register(name, collector(received))
+    net.partition(["a", "b"], ["c", "d"])
+    # Interleave pairs; the flush must replay exactly this send order.
+    sends = [("a", "c", 0), ("b", "d", 1), ("a", "d", 2), ("b", "c", 3),
+             ("a", "c", 4)]
+    for src, dst, payload in sends:
+        net.send(src, dst, payload, reliable=True)
+    sim.run_until_idle()
+    assert received == []
+    net.heal()
+    sim.run_until_idle()
+    assert [p for _, p, _ in received] == [0, 1, 2, 3, 4]
+
+
+def test_partial_heal_flushes_only_reconnected_pairs():
+    sim = Simulator()
+    net = make_net(sim)
+    received = []
+    for name in "abc":
+        net.register(name, collector(received))
+    net.partition(["a"], ["b"])
+    net.partition(["a"], ["c"])
+    net.send("a", "b", "to-b", reliable=True)
+    net.send("a", "c", "to-c", reliable=True)
+    net.heal(["a"], ["b"])
+    sim.run_until_idle()
+    assert [p for _, p, _ in received] == ["to-b"]
+    assert net.partitioned("a", "c")
+    net.heal()
+    sim.run_until_idle()
+    assert [p for _, p, _ in received] == ["to-b", "to-c"]
+
+
+def test_partial_heal_is_orientation_insensitive_and_validated():
+    sim = Simulator()
+    net = make_net(sim)
+    net.register("a", collector([]))
+    net.register("b", collector([]))
+    net.partition(["a"], ["b"])
+    net.heal(["b"], ["a"])  # reversed sides still match
+    assert not net.partitioned("a", "b")
+    with pytest.raises(ValueError, match="no partition"):
+        net.heal(["a"], ["b"])
+    with pytest.raises(ValueError, match="both sides"):
+        net.heal(side_a=["a"])
+
+
+def test_unreliable_drop_counting_during_partition():
+    sim = Simulator()
+    net = make_net(sim, loss_rate=0.5)
+    received = []
+    net.register("a", collector([]))
+    net.register("b", collector(received))
+    net.partition(["a"], ["b"])
+    for _ in range(10):
+        net.send("a", "b", "u", reliable=False)
+    sim.run_until_idle()
+    # Partition drops are counted as such -- never attributed to loss,
+    # and never consuming a loss-RNG draw.
+    assert net.stats.datagrams_dropped_partition == 10
+    assert net.stats.datagrams_dropped_loss == 0
+    assert received == []
+
+
+def test_overlapping_partition_membership():
+    sim = Simulator()
+    net = make_net(sim)
+    for name in "abcd":
+        net.register(name, collector([]))
+    net.partition(["a", "b"], ["c"])
+    net.partition(["a"], ["c", "d"])
+    assert net.partitioned("b", "c")      # first cut
+    assert net.partitioned("a", "d")      # second cut
+    assert not net.partitioned("b", "d")  # no cut separates these
+    net.heal(["a", "b"], ["c"])
+    assert net.partitioned("a", "c")      # second cut still separates
+    assert not net.partitioned("b", "c")
+
+
+def test_crash_drops_traffic_and_queued_entries():
+    sim = Simulator()
+    net = make_net(sim)
+    received = []
+    net.register("a", collector([]))
+    net.register("b", collector(received))
+    net.partition(["a"], ["b"])
+    net.send("a", "b", "queued", reliable=True)
+    net.crash_node("b")  # drops the queued entry too
+    assert net.stats.datagrams_dropped_crashed == 1
+    net.send("a", "b", "while-down", reliable=True)
+    assert net.stats.datagrams_dropped_crashed == 2
+    net.heal()
+    sim.run_until_idle()
+    assert received == []
+    net.restart_node("b")
+    net.send("a", "b", "after-restart", reliable=True)
+    sim.run_until_idle()
+    assert [p for _, p, _ in received] == ["after-restart"]
+
+
+def test_crash_drops_in_flight_datagrams():
+    sim = Simulator()
+    net = make_net(sim)
+    received = []
+    net.register("a", collector([]))
+    net.register("b", collector(received))
+    net.send("a", "b", "in-flight", reliable=True)
+    net.crash_node("b")  # dies before the 0.05s delivery fires
+    sim.run_until_idle()
+    assert received == []
+    assert net.stats.datagrams_dropped_crashed == 1
+
+
 def test_partitioned_is_symmetric():
     sim = Simulator()
     net = make_net(sim)

@@ -54,7 +54,7 @@ def test_cell_stats_rejects_empty():
 
 def test_aggregate_shapes_and_reduces_replications():
     tables = aggregate(TINY, _synthetic_results())
-    assert set(tables) == set(METRICS)
+    assert set(tables) == set(TINY.metric_keys())
     table = tables["wire_kb"]
     assert table.rows == ("alpha", "beta")
     assert table.cols == (("read-heavy", 2), ("read-heavy", 4))

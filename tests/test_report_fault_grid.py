@@ -1,0 +1,96 @@
+"""Tests for the fault-grid axis of the report layer (X11)."""
+
+import pytest
+
+from repro.exec import derive_seed
+from repro.report.aggregate import aggregate
+from repro.report.book import book_artifacts
+from repro.report.grid import (
+    BASE_METRIC_KEYS,
+    FAULT_METRIC_KEYS,
+    get_grid,
+    grid_spec,
+    run_fault_grid_point,
+    run_grid,
+)
+
+SMALL = "x11-faults-small"
+
+
+def test_fault_grid_axes_and_labels():
+    grid = get_grid(SMALL)
+    assert grid.is_fault_grid
+    assert grid.col_axis == "fault_plan"
+    assert grid.metric_keys() == BASE_METRIC_KEYS + FAULT_METRIC_KEYS
+    spec = grid_spec(grid)
+    assert len(spec.points) == grid.point_count()
+    # Labels are (protocol, fault_plan, size, rep); the fixed workload
+    # rides in the config (and its hash) without widening the label.
+    assert spec.labels()[0] == ("push-update", "none", 2, 0)
+    assert all(point.config["workload"] == "balanced"
+               for point in spec.points)
+    assert all(point.config["fault_plan"] == point.label[1]
+               for point in spec.points)
+
+
+def test_fault_plan_name_rotates_the_derived_seed():
+    grid = get_grid(SMALL)
+    spec = grid_spec(grid)
+    by_label = {point.label: point for point in spec.points}
+    baseline = by_label[("push-update", "none", 2, 0)]
+    faulted = by_label[("push-update", "partition-heal", 2, 0)]
+    assert spec.seed_for(baseline) != spec.seed_for(faulted)
+    # And the seed is a pure function of the config.
+    assert spec.seed_for(faulted) == derive_seed(
+        spec.name, faulted.config, base_seed=grid.base_seed
+    )
+
+
+def test_fault_point_returns_all_metrics_and_is_deterministic():
+    config = {"protocol": "push-update", "workload": "balanced",
+              "n_caches": 2, "rep": 0, "fault_plan": "partition-heal"}
+    first = run_fault_grid_point(dict(config), seed=11)
+    second = run_fault_grid_point(dict(config), seed=11)
+    assert first == second
+    assert set(first) == set(BASE_METRIC_KEYS + FAULT_METRIC_KEYS)
+
+
+def test_fault_grid_aggregates_and_renders():
+    grid = get_grid(SMALL)
+    results = run_grid(grid)
+    tables = aggregate(grid, results)
+    assert set(tables) == set(grid.metric_keys())
+    table = tables["recovery_lag"]
+    assert table.cols == (("none", 2), ("partition-heal", 2))
+    # The baseline column has no partitions to recover from.
+    for protocol in grid.protocols:
+        assert table.cell(protocol, ("none", 2)).mean == 0.0
+    artifacts = book_artifacts(grid, results)
+    book = artifacts["RESULTS.md"]
+    assert "| fault plan | scenario |" in book
+    assert "partition-heal" in book
+    assert "Recovery lag after heal" in book
+    for key in FAULT_METRIC_KEYS:
+        assert f"results/heatmaps/{grid.name}/{key}.svg" in artifacts
+    # Bit-identical re-render (the --check gate's property).
+    assert book_artifacts(grid, run_grid(grid)) == artifacts
+
+
+def test_classic_grid_book_excludes_fault_metrics():
+    grid = get_grid("table1-small")
+    assert grid.metric_keys() == BASE_METRIC_KEYS
+    with pytest.raises(KeyError, match="does not report"):
+        book_artifacts(grid, {}, metrics=["unavailable_fraction"])
+
+
+def test_fault_grid_requires_single_workload():
+    from repro.report.grid import GridDef
+
+    with pytest.raises(ValueError, match="exactly one"):
+        GridDef(
+            name="bad", title="t", description="d",
+            protocols=("push-update",),
+            workloads=("read-heavy", "balanced"),
+            sizes=(2,), replications=2,
+            fault_plans=("none",),
+        )

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.report.grid import (
+    BASE_METRIC_KEYS,
     GRIDS,
-    METRICS,
     STRATEGIES,
     get_grid,
     grid_spec,
@@ -31,7 +31,7 @@ def test_grid_registry_consistent():
             assert protocol in STRATEGIES
         assert grid.replications >= 2  # percentiles need samples
         assert grid.point_count() == (
-            len(grid.protocols) * len(grid.workloads)
+            len(grid.protocols) * len(grid.col_values())
             * len(grid.sizes) * grid.replications
         )
 
@@ -69,7 +69,7 @@ def test_run_grid_point_returns_all_metrics_and_is_deterministic():
     first = run_grid_point(dict(config), seed=11)
     second = run_grid_point(dict(config), seed=11)
     assert first == second
-    assert set(METRICS) <= set(first)
+    assert set(BASE_METRIC_KEYS) == set(first)
     assert all(isinstance(v, float) for v in first.values())
 
 

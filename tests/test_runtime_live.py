@@ -86,6 +86,53 @@ class TestLiveNetwork:
         net.send("a", "nowhere", "x")
         time.sleep(0.05)  # nothing to assert but must not raise
 
+    def test_partition_queues_reliable_and_heal_flushes(self, loop):
+        net = LiveNetwork(loop, latency=0.0)
+        received = []
+        net.register("a", lambda src, payload, size: None)
+        net.register("b", lambda src, payload, size: received.append(payload))
+        loop.submit(net.partition, ["a"], ["b"])  # mutate on dispatcher
+        assert wait_for(lambda: net.partitioned("a", "b"))
+        net.send("a", "b", "queued", reliable=True)
+        net.send("a", "b", "lost", reliable=False)
+        time.sleep(0.05)
+        assert received == []
+        assert net.stats.datagrams_dropped_partition == 1
+        loop.submit(net.heal)
+        assert wait_for(lambda: received == ["queued"])
+        assert net.stats.datagrams_delivered == 1
+
+    def test_crash_drops_and_restart_resumes(self, loop):
+        net = LiveNetwork(loop, latency=0.0)
+        received = []
+        net.register("b", lambda src, payload, size: received.append(payload))
+        loop.submit(net.crash_node, "b")
+        assert wait_for(lambda: net.is_crashed("b"))
+        net.send("a", "b", "while-down")
+        time.sleep(0.05)
+        assert received == []
+        assert net.stats.datagrams_dropped_crashed == 1
+        loop.submit(net.restart_node, "b")
+        assert wait_for(lambda: not net.is_crashed("b"))
+        net.send("a", "b", "after-restart")
+        assert wait_for(lambda: received == ["after-restart"])
+
+    def test_stats_fields_match_the_sim_network(self, loop):
+        import dataclasses
+
+        from repro.net.network import Network, NetworkStats
+        from repro.sim.kernel import Simulator
+
+        live = LiveNetwork(loop)
+        sim_net = Network(Simulator())
+        fields = {f.name for f in dataclasses.fields(NetworkStats)}
+        assert {f.name for f in dataclasses.fields(live.stats)} == fields
+        assert {f.name for f in dataclasses.fields(sim_net.stats)} == fields
+        assert {
+            "datagrams_dropped_partition", "datagrams_dropped_crashed",
+            "datagrams_dropped_loss",
+        } <= fields
+
 
 class TestLiveEndToEnd:
     def test_write_propagates_and_ryw_read_serves(self, loop):
