@@ -1,0 +1,167 @@
+"""Executor benchmark: points/sec and bytes-through-pipe per executor.
+
+Runs one large-trace sweep -- every point returns multi-hundred-KB
+payloads of per-metric sample arrays and trace records, the shape the
+report grids actually produce -- under each registered executor and
+emits ``BENCH_exec.json``::
+
+    python benchmarks/bench_exec.py                  # defaults
+    python benchmarks/bench_exec.py --points 16 --samples 200000
+    python benchmarks/bench_exec.py --out BENCH_exec.json
+
+For each executor the report records wall-clock points/sec plus the
+transport accounting from ``ExecutorStats``: ``pipe_bytes`` (what
+crossed the worker pool's pickle pipe) and ``payload_bytes`` (the
+encoded payload volume).  The shared-memory executor moves the payloads
+out of the pipe entirely -- only (label, segment, length, digest)
+descriptors cross it -- which is the number the ROADMAP's
+"shared-memory result transport" item asked to see.
+
+Not a pytest module: run it directly (CI treats the perf trajectory as
+data, not as a gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Any, Dict
+
+from repro.exec import (
+    EXECUTORS,
+    ResultCache,
+    SweepSpec,
+    default_parallelism,
+    run_sweep,
+)
+
+
+def large_trace_point(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One sweep point returning a large, trace-shaped payload.
+
+    Exact binary fractions of the derived seed keep the payload
+    deterministic (and bit-identical across executors) without an RNG.
+    """
+    samples = int(config["samples"])
+    base = seed % (1 << 20)
+    return {
+        "label": config["tag"],
+        # Per-metric sample arrays: the codec's packed-array fast path
+        # and the bulk of a real grid point's bytes.
+        "latencies": [(base + i) / 1024.0 for i in range(samples)],
+        "lags": [(base + 2 * i) / 2048.0 for i in range(samples)],
+        "versions": [(base + i) % 251 for i in range(samples)],
+        # Trace records: small heterogeneous dicts, per-item encoded.
+        "records": [
+            {"node": f"cache-{i % 7}", "version": i, "stale": False}
+            for i in range(256)
+        ],
+        "summary": {"samples": samples, "seed": seed},
+    }
+
+
+def build_spec(points: int, samples: int) -> SweepSpec:
+    """The benchmark sweep: ``points`` large-trace points."""
+    spec = SweepSpec(name="bench-exec", run_point=large_trace_point)
+    for index in range(points):
+        spec.add(f"pt-{index:02d}", tag=f"pt-{index:02d}", samples=samples)
+    return spec
+
+
+def bench_executor(name: str, points: int, samples: int,
+                   parallel: int) -> Dict[str, Any]:
+    """Measure one executor on the cold cached sweep; return its entry.
+
+    Each run gets a fresh (cold) on-disk cache, the configuration every
+    real grid sweep runs under: the timing therefore includes writing
+    each point's entry, which the shared-memory executor does from the
+    worker's already-encoded bytes while the others re-encode.
+
+    Two passes: a stats pass first (counting process-pool pipe bytes
+    re-pickles every result, which must not pollute the timing), then a
+    stats-free timed pass.
+    """
+    stats_executor = EXECUTORS[name](collect_stats=True)
+    with tempfile.TemporaryDirectory(prefix="bench-exec-") as cache_dir:
+        run_sweep(build_spec(points, samples), parallel=parallel,
+                  executor=stats_executor, cache=ResultCache(cache_dir))
+    stats = stats_executor.stats
+
+    executor = EXECUTORS[name]()
+    with tempfile.TemporaryDirectory(prefix="bench-exec-") as cache_dir:
+        cache = ResultCache(cache_dir)
+        started = time.perf_counter()
+        measured = run_sweep(build_spec(points, samples),
+                             parallel=parallel, executor=executor,
+                             cache=cache)
+        elapsed = time.perf_counter() - started
+        assert len(measured) == points
+        assert cache.writes == points
+    return {
+        "points": points,
+        "samples_per_point": samples,
+        "workers": parallel or default_parallelism(points),
+        "seconds": round(elapsed, 4),
+        "points_per_sec": round(points / elapsed, 3),
+        "pipe_bytes": stats.pipe_bytes,
+        "payload_bytes": stats.payload_bytes,
+    }
+
+
+def main(argv) -> int:
+    """Run the benchmark matrix and write the JSON report."""
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_exec.py",
+        description="Benchmark sweep executors on a large-trace sweep.",
+    )
+    parser.add_argument("--points", type=int, default=8,
+                        help="sweep points (default 8)")
+    parser.add_argument("--samples", type=int, default=100_000,
+                        help="samples per metric array per point "
+                             "(default 100000; ~2.4 MB of arrays/point)")
+    parser.add_argument("--parallel", type=int, default=0,
+                        help="worker-pool size for the pool executors "
+                             "(default 0: one per CPU, clamped to the "
+                             "point count)")
+    parser.add_argument("--out", default="BENCH_exec.json",
+                        help="report path (default BENCH_exec.json)")
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "large-trace sweep through repro.exec executors",
+        # The host matters: on a 1-CPU box the pool executors degrade
+        # to one worker and the comparison is pure transport overhead;
+        # multicore hosts additionally overlap worker-side encoding.
+        "cpu_count": os.cpu_count(),
+        "executors": {},
+    }
+    for name in sorted(EXECUTORS):
+        entry = bench_executor(name, args.points, args.samples,
+                               args.parallel)
+        report["executors"][name] = entry
+        print(f"{name:>14}: {entry['points_per_sec']:8.2f} points/sec   "
+              f"pipe {entry['pipe_bytes']:>12,} B   "
+              f"payload {entry['payload_bytes']:>12,} B")
+
+    pool = report["executors"]["process-pool"]
+    shm = report["executors"]["shared-memory"]
+    report["shared_memory_vs_pool"] = {
+        "pipe_bytes_ratio": (
+            round(shm["pipe_bytes"] / pool["pipe_bytes"], 6)
+            if pool["pipe_bytes"] else None
+        ),
+        "speedup": round(shm["points_per_sec"] / pool["points_per_sec"], 3),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

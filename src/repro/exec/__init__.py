@@ -2,10 +2,20 @@
 
 The experiments layer describes a sweep as a :class:`SweepSpec` -- a
 list of independent points plus a pure ``run_point(config, seed)``
-function -- and :func:`run_sweep` executes it: serially, over a
-``multiprocessing`` pool, or out of the on-disk :class:`ResultCache`.
-Seeds derive from a stable hash of each point's config
-(:func:`derive_seed`), so all three paths produce bit-identical results.
+function -- and :func:`run_sweep` executes it through a pluggable
+three-layer stack:
+
+- an :class:`Executor` (:mod:`repro.exec.backends`) decides *how*
+  points run: :class:`SerialExecutor` in process,
+  :class:`PicklePipeExecutor` over a worker pool with payloads pickled
+  through the pool pipe, or :class:`SharedMemoryExecutor` with payloads
+  staged in ``multiprocessing.shared_memory`` segments and only a tiny
+  descriptor crossing the pipe;
+- the codec (:mod:`repro.exec.codec`) gives the large per-point
+  artifacts one compact binary form shared by the shared-memory
+  transport and the on-disk :class:`ResultCache`;
+- seeds derive from a stable hash of each point's config
+  (:func:`derive_seed`), so every path produces bit-identical results.
 
 Typical use::
 
@@ -17,9 +27,22 @@ Typical use::
     spec = SweepSpec(name="my-sweep", run_point=my_point)
     for n in (1, 2, 4, 8):
         spec.add(f"n={n}", n=n)
-    measured = run_sweep(spec, parallel=4, cache_dir=".sweep-cache")
+    measured = run_sweep(spec, parallel=4, cache_dir=".sweep-cache",
+                         executor="shared-memory")
 """
 
+from repro.exec.backends import (
+    EXECUTOR_ENV,
+    EXECUTORS,
+    Executor,
+    ExecutorStats,
+    PointTask,
+    PicklePipeExecutor,
+    SerialExecutor,
+    SharedMemoryExecutor,
+    default_parallelism,
+    resolve_executor,
+)
 from repro.exec.cache import ResultCache, code_fingerprint
 from repro.exec.cli import (
     add_exec_arguments,
@@ -27,10 +50,10 @@ from repro.exec.cli import (
     exec_kwargs,
     supported_exec_kwargs,
 )
+from repro.exec.codec import CodecError, decode_result, encode_result
 from repro.exec.runner import (
     SweepPointError,
     cached_point_labels,
-    default_parallelism,
     run_sweep,
 )
 from repro.exec.seeding import config_hash, derive_seed
@@ -38,7 +61,16 @@ from repro.exec.single import run_cached_single
 from repro.exec.spec import SweepPoint, SweepSpec
 
 __all__ = [
+    "CodecError",
+    "EXECUTOR_ENV",
+    "EXECUTORS",
+    "Executor",
+    "ExecutorStats",
+    "PointTask",
+    "PicklePipeExecutor",
     "ResultCache",
+    "SerialExecutor",
+    "SharedMemoryExecutor",
     "SweepPoint",
     "SweepPointError",
     "SweepSpec",
@@ -47,9 +79,12 @@ __all__ = [
     "cached_point_labels",
     "code_fingerprint",
     "config_hash",
+    "decode_result",
     "default_parallelism",
     "derive_seed",
+    "encode_result",
     "exec_kwargs",
+    "resolve_executor",
     "run_cached_single",
     "run_sweep",
     "supported_exec_kwargs",

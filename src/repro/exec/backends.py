@@ -1,0 +1,468 @@
+"""Pluggable sweep executors: how a sweep's points actually run.
+
+The runner (:mod:`repro.exec.runner`) decides *what* to run -- which
+points are pending after the cache is consulted -- and hands the
+resulting :class:`PointTask` list to an :class:`Executor`, which decides
+*how*: in process, over a worker pool with results pickled through the
+pool pipe, or over a worker pool with results staged in
+``multiprocessing.shared_memory`` segments so only a tiny
+``(label, segment name, length, digest)`` descriptor crosses the pipe.
+
+Because every point's seed is derived from its config and point
+functions are pure, the three executors are pure mechanism: they return
+bit-identical results and leave bit-identical cache entries.  A future
+distributed (remote-worker) backend plugs in as a fourth ``Executor``
+behind the same seam.
+
+Selection: ``run_sweep(executor=...)`` / the ``--executor`` CLI flag
+name an entry of :data:`EXECUTORS`; when neither is given, the
+``REPRO_EXECUTOR`` environment variable is consulted, and failing that
+the runner picks ``serial`` for one worker and ``process-pool``
+otherwise (the historical behaviour).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import pickle
+import sys
+import traceback
+import zlib
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.exec.codec import CodecError, decode_result, encode_result
+
+#: Environment variable naming the default executor when the caller
+#: does not pass one explicitly (the CI shared-memory job sets it).
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: One executor result: ``(task index, success, payload-or-traceback)``.
+TaskResult = Tuple[int, bool, Any]
+
+
+@dataclasses.dataclass(frozen=True)
+class PointTask:
+    """One unit of executor work: evaluate ``run_point(config, seed)``.
+
+    Carries the point's label so fan-out failures (and shared-memory
+    descriptors) stay attributable without a trip back to the spec.
+    """
+
+    run_point: Callable[[Dict[str, Any], int], Any]
+    index: int
+    label: Hashable
+    config: Dict[str, Any]
+    seed: int
+
+
+@dataclasses.dataclass
+class ExecutorStats:
+    """Transport accounting for one :meth:`Executor.run` call.
+
+    ``pipe_bytes`` is what crossed the worker pool's pickle pipe;
+    ``payload_bytes`` is the encoded size of the payloads themselves
+    (for the shared-memory executor, the bytes that *bypassed* the
+    pipe).  Filled in only when the executor was built with
+    ``collect_stats=True`` -- measuring the pool pipe requires
+    re-serializing results, which is benchmark work, not sweep work.
+    """
+
+    points: int = 0
+    failures: int = 0
+    pipe_bytes: int = 0
+    payload_bytes: int = 0
+
+
+def default_parallelism(task_count: Optional[int] = None) -> int:
+    """Worker count used when the caller asks for ``parallel=0``.
+
+    Clamped to ``task_count`` when known: a four-point sweep on a
+    64-core host should fork four workers, not 64 idle ones.
+    """
+    workers = max(1, os.cpu_count() or 1)
+    if task_count is not None:
+        workers = max(1, min(workers, task_count))
+    return workers
+
+
+def _evaluate(task: PointTask) -> TaskResult:
+    """Evaluate one point; never raises (failures are data).
+
+    Raising inside a pool worker would surface in the parent stripped of
+    the point's identity, so failures travel back as
+    ``(index, False, traceback text)``.
+    """
+    try:
+        return task.index, True, task.run_point(task.config, task.seed)
+    except Exception:
+        # KeyboardInterrupt/SystemExit propagate: a user interrupt must
+        # abort the sweep, not masquerade as a failed point.
+        return task.index, False, traceback.format_exc()
+
+
+def _pool_context():
+    """The ``multiprocessing`` context pool executors build on.
+
+    Prefers ``fork`` (cheap, inherits the imported package), then
+    ``forkserver``, then ``spawn`` -- an explicit preference order
+    rather than whatever the platform default happens to be.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    for method in ("fork", "forkserver", "spawn"):
+        if method in methods:
+            return multiprocessing.get_context(method)
+    return multiprocessing.get_context()
+
+
+class Executor:
+    """How a list of :class:`PointTask`\\ s is evaluated.
+
+    Subclasses implement :meth:`run`, which yields result triples as
+    they become available, in any order (the runner reassembles by
+    index).  Streaming matters: the caller consumes each result -- and
+    releases its transport resources -- while later points are still
+    computing, so peak memory stays flat over a large sweep.
+    ``collect_stats=True`` makes :attr:`stats` meaningful once a
+    :meth:`run` has been fully consumed.
+    """
+
+    #: Registry / CLI name; subclasses override.
+    name = "abstract"
+
+    def __init__(self, collect_stats: bool = False):
+        self.collect_stats = collect_stats
+        self.stats = ExecutorStats()
+        #: Canonical codec bytes per task index, for executors whose
+        #: transport already produced them; the runner drains this so
+        #: cache writes can skip re-encoding (see ResultCache.put_encoded).
+        #: Populated only while ``retain_encoded`` is set -- holding
+        #: every blob of a cacheless sweep would just be dead weight.
+        self.encoded_payloads: Dict[int, bytes] = {}
+        self.retain_encoded = False
+
+    def run(self, tasks: List[PointTask], workers: int = 1
+            ) -> Iterator[TaskResult]:
+        """Evaluate every task; yield one result triple per task."""
+        raise NotImplementedError
+
+    def _reset_stats(self, tasks: List[PointTask]) -> None:
+        self.stats = ExecutorStats(points=len(tasks))
+        self.encoded_payloads = {}
+
+    def _count(self, triple: TaskResult) -> TaskResult:
+        """Fold one yielded triple into the failure count."""
+        if not triple[1]:
+            self.stats.failures += 1
+        return triple
+
+
+class SerialExecutor(Executor):
+    """Evaluate every point in the calling process, in order.
+
+    No serialization happens at all, so ``pipe_bytes`` and
+    ``payload_bytes`` stay zero; this is both the one-worker fast path
+    and the fallback when process spawning is unavailable.
+    """
+
+    name = "serial"
+
+    def run(self, tasks: List[PointTask], workers: int = 1
+            ) -> Iterator[TaskResult]:
+        """Evaluate tasks in declaration order, in process."""
+        self._reset_stats(tasks)
+        return self._iterate(tasks)
+
+    def _iterate(self, tasks: List[PointTask]) -> Iterator[TaskResult]:
+        for task in tasks:
+            yield self._count(_evaluate(task))
+
+
+class _PoolExecutor(Executor):
+    """Shared pool plumbing: context choice, clamping, serial fallback.
+
+    Results stream back through ``imap_unordered`` and are yielded as
+    they are collected, so the parent's per-result work (decoding a
+    shared-memory segment, writing the cache entry in the runner)
+    overlaps the workers still computing -- the same pipelining the
+    classic pool gets from unpickling in its result thread -- and no
+    more than one undelivered payload is held at a time.
+    """
+
+    #: Module-level worker function (must be picklable by reference).
+    _worker: Callable[[PointTask], TaskResult] = staticmethod(_evaluate)
+
+    def run(self, tasks: List[PointTask], workers: int = 1
+            ) -> Iterator[TaskResult]:
+        """Fan tasks out over a worker pool; stream through transport."""
+        self._reset_stats(tasks)
+        if not tasks:
+            return iter(())
+        if workers == 0:
+            workers = default_parallelism(len(tasks))
+        workers = max(1, min(workers, len(tasks)))
+        # Only pool *creation* falls back to serial (sandboxes without
+        # process-spawn rights); an error after workers exist -- a
+        # killed worker, a torn segment -- must surface, not silently
+        # recompute everything.
+        try:
+            pool = _pool_context().Pool(processes=workers)
+        except OSError as exc:
+            # Determinism makes the serial results identical.  stderr,
+            # so rendered tables stay byte-identical regardless.
+            print(f"repro.exec: worker pool unavailable ({exc}); "
+                  "falling back to serial execution", file=sys.stderr)
+            return self._iterate_serial(tasks)
+        return self._consume(pool, tasks)
+
+    def _iterate_serial(self, tasks: List[PointTask]
+                        ) -> Iterator[TaskResult]:
+        for task in tasks:
+            yield self._count(_evaluate(task))
+
+    def _consume(self, pool, tasks: List[PointTask]
+                 ) -> Iterator[TaskResult]:
+        with pool:
+            failure: Optional[BaseException] = None
+            for triple in pool.imap_unordered(type(self)._worker, tasks):
+                if failure is not None:
+                    # Keep draining so every staged segment is
+                    # released before the error surfaces.
+                    self._discard(triple)
+                    continue
+                try:
+                    collected = self._collect_one(triple)
+                except CodecError as exc:
+                    failure = exc
+                    continue
+                yield self._count(collected)
+            if failure is not None:
+                raise failure
+
+    def _collect_one(self, triple: TaskResult) -> TaskResult:
+        """Turn one pipe-crossing result back into a result triple."""
+        return triple
+
+    def _discard(self, triple: TaskResult) -> None:
+        """Release any transport resources of an abandoned result."""
+
+
+class PicklePipeExecutor(_PoolExecutor):
+    """The classic pool: whole payloads pickled through the result pipe.
+
+    This is the historical ``parallel=N`` behaviour, now one pluggable
+    mechanism among several.  (Deliberately *not* named after stdlib's
+    ``concurrent.futures.ProcessPoolExecutor`` -- the registry name
+    ``process-pool`` describes the mechanism, the class name the
+    transport.)
+    """
+
+    name = "process-pool"
+
+    def _collect_one(self, triple: TaskResult) -> TaskResult:
+        """Account for pipe traffic when stats are requested."""
+        if self.collect_stats:
+            # Re-pickling costs what the pipe cost; only under stats.
+            size = len(
+                pickle.dumps(triple, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            self.stats.pipe_bytes += size
+            self.stats.payload_bytes += size
+        return triple
+
+
+@dataclasses.dataclass(frozen=True)
+class SegmentRef:
+    """What the shared-memory executor sends through the pool pipe.
+
+    The payload itself stays in the named ``multiprocessing``
+    shared-memory segment; only this descriptor is pickled.  ``digest``
+    (a crc32 of the encoded payload -- transport integrity, not
+    cryptography) lets the parent detect a torn or corrupted segment
+    before decoding.
+    """
+
+    label: Hashable
+    segment: Optional[str]
+    length: int
+    digest: str
+    #: Inline fallback used when segment allocation failed in a worker
+    #: (e.g. ``/dev/shm`` unavailable); the encoded payload rides the
+    #: pipe instead, still codec-framed and digest-checked.
+    blob: Optional[bytes] = None
+
+
+def _payload_digest(blob: bytes) -> str:
+    """Digest protecting one encoded payload in transit (crc32)."""
+    return f"{zlib.crc32(blob):08x}"
+
+
+def _evaluate_to_segment(task: PointTask) -> TaskResult:
+    """Worker side of the shared-memory transport.
+
+    Encodes the payload with the codec, stages it in a fresh segment,
+    and returns only a :class:`SegmentRef`.  Failures (traceback text)
+    are small and travel the pipe directly -- including encoding
+    failures (e.g. an unpicklable payload member), which must surface
+    as attributable point failures, not abort the whole pool.
+    """
+    from multiprocessing import shared_memory
+
+    index, ok, payload = _evaluate(task)
+    if not ok:
+        return index, False, payload
+    try:
+        blob = encode_result(payload)
+    except Exception:
+        return index, False, traceback.format_exc()
+    digest = _payload_digest(blob)
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=len(blob))
+    except OSError:
+        return index, True, SegmentRef(task.label, None, len(blob),
+                                       digest, blob=blob)
+    try:
+        segment.buf[:len(blob)] = blob
+        name = segment.name
+    finally:
+        segment.close()
+    return index, True, SegmentRef(task.label, name, len(blob), digest)
+
+
+def _read_segment(ref: SegmentRef) -> bytes:
+    """Drain (and unlink) one shared-memory segment in the parent."""
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=ref.segment)
+    try:
+        return bytes(segment.buf[:ref.length])
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class SharedMemoryExecutor(_PoolExecutor):
+    """Pool execution with results staged in shared-memory segments.
+
+    Workers codec-encode each payload into a
+    ``multiprocessing.shared_memory`` segment and send only the
+    ``(label, segment name, length, digest)`` descriptor through the
+    pipe; the parent attaches, verifies the digest, decodes, and
+    unlinks.  Serialization of the large artifacts thus leaves the
+    pool-pipe critical path entirely.
+    """
+
+    name = "shared-memory"
+
+    _worker = staticmethod(_evaluate_to_segment)
+
+    def run(self, tasks: List[PointTask], workers: int = 1
+            ) -> Iterator[TaskResult]:
+        """Fan out over a pool with segments pre-tracked by the parent.
+
+        The resource tracker must exist *before* the pool forks:
+        workers then register their segments with the parent's tracker,
+        and the parent's ``unlink`` unregisters from that same tracker.
+        Otherwise each worker spawns its own tracker, which warns about
+        (already-unlinked) "leaked" segments at shutdown.
+        """
+        if tasks:
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except (ImportError, AttributeError, OSError):
+                pass  # tracking is best-effort; transport still works
+        return super().run(tasks, workers=workers)
+
+    def _collect_one(self, triple: TaskResult) -> TaskResult:
+        """Attach, verify and decode one staged result.
+
+        The segment is unlinked as soon as its bytes are drained, so a
+        digest or decode failure never leaks it.
+        """
+        index, ok, payload = triple
+        if not ok or not isinstance(payload, SegmentRef):
+            return triple
+        if payload.segment is None:
+            blob = payload.blob
+        else:
+            try:
+                blob = _read_segment(payload)
+            except OSError as exc:
+                raise CodecError(
+                    f"point {payload.label!r}: shared-memory segment "
+                    f"{payload.segment!r} unreadable ({exc})"
+                )
+        if _payload_digest(blob) != payload.digest:
+            raise CodecError(
+                f"point {payload.label!r}: shared-memory payload "
+                f"digest mismatch (segment {payload.segment!r})"
+            )
+        if self.collect_stats:
+            self.stats.pipe_bytes += len(pickle.dumps(
+                triple, protocol=pickle.HIGHEST_PROTOCOL,
+            ))
+            self.stats.payload_bytes += len(blob)
+        if self.retain_encoded:
+            self.encoded_payloads[index] = blob
+        return index, ok, decode_result(blob)
+
+    def _discard(self, triple: TaskResult) -> None:
+        """Unlink an abandoned segment without decoding it."""
+        _, ok, payload = triple
+        if (ok and isinstance(payload, SegmentRef)
+                and payload.segment is not None):
+            try:
+                _read_segment(payload)
+            except OSError:
+                pass
+
+
+#: Registry of selectable executors, keyed by CLI name.
+EXECUTORS: Dict[str, type] = {
+    SerialExecutor.name: SerialExecutor,
+    PicklePipeExecutor.name: PicklePipeExecutor,
+    SharedMemoryExecutor.name: SharedMemoryExecutor,
+}
+
+
+def resolve_executor(
+    executor: Union[Executor, str, None] = None,
+    parallel: int = 1,
+) -> Executor:
+    """Turn an executor selection into a live :class:`Executor`.
+
+    Precedence: an explicit instance, an explicit registry name, the
+    ``REPRO_EXECUTOR`` environment variable, then the parallelism-based
+    default (``serial`` for one worker, ``process-pool`` otherwise).
+    """
+    if isinstance(executor, Executor):
+        return executor
+    if executor is None:
+        executor = os.environ.get(EXECUTOR_ENV) or None
+    if executor is None:
+        executor = (SerialExecutor.name if parallel <= 1
+                    else PicklePipeExecutor.name)
+    try:
+        factory = EXECUTORS[executor]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {executor!r}; "
+            f"registered: {', '.join(EXECUTORS)}"
+        ) from None
+    return factory()

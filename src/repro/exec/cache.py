@@ -1,11 +1,14 @@
 """On-disk result cache for sweep points.
 
-Finished point results are pickled under
-``<root>/<code fingerprint>/<spec>/<key>.pkl`` where the key hashes the
-point's config and the sweep's base seed, and the fingerprint hashes the
-``repro`` package sources.  Any code change therefore invalidates the
-whole cache (stale results can never be served), while re-runs and
-re-renders of an unchanged sweep are near-instant.
+Finished point results are stored in the :mod:`repro.exec.codec` binary
+format under ``<root>/<code fingerprint>/<spec>/<key>.res`` where the
+key hashes the point's config and the sweep's base seed, and the
+fingerprint hashes the ``repro`` package sources.  Any code change
+therefore invalidates the whole cache (stale results can never be
+served), while re-runs and re-renders of an unchanged sweep are
+near-instant.  Entries written by older code -- including the
+pre-codec ``.pkl`` pickle format -- live under rotated fingerprints and
+are swept away by :meth:`ResultCache.evict_stale`.
 """
 
 from __future__ import annotations
@@ -14,13 +17,17 @@ import functools
 import hashlib
 import inspect
 import os
-import pickle
 import shutil
 import tempfile
 from pathlib import Path
 from typing import Any, Callable, Iterator, List, Mapping, Optional, Tuple
 
+from repro.exec.codec import CodecError, decode_result, encode_result
 from repro.exec.seeding import config_blob
+
+#: Suffix of one stored point result (codec-encoded; the pre-codec
+#: pickle format used ``.pkl``, which the iteration API ignores).
+ENTRY_SUFFIX = ".res"
 
 
 @functools.lru_cache(maxsize=1)
@@ -64,7 +71,13 @@ def function_fingerprint(fn: Callable) -> str:
 
 
 class ResultCache:
-    """Pickle-per-point cache keyed by config hash + code version."""
+    """Entry-per-point cache keyed by config hash + code version.
+
+    Entries are codec-encoded (:mod:`repro.exec.codec`), so the bytes a
+    sweep leaves on disk are identical whichever executor computed the
+    results -- the cache-key-equality half of the executor-parity
+    guarantee.
+    """
 
     def __init__(self, root: os.PathLike, fingerprint: Optional[str] = None):
         self.root = Path(root)
@@ -91,7 +104,8 @@ class ResultCache:
         safe_name = "".join(
             ch if ch.isalnum() or ch in "-_." else "_" for ch in spec_name
         )
-        return self.root / self.fingerprint / safe_name / f"{key}.pkl"
+        return (self.root / self.fingerprint / safe_name
+                / f"{key}{ENTRY_SUFFIX}")
 
     def has(self, spec_name: str, base_seed: int,
             config: Mapping[str, Any], fn_key: str = "",
@@ -109,14 +123,14 @@ class ResultCache:
             point_seed: int = 0) -> Tuple[bool, Any]:
         """``(True, value)`` on a hit, ``(False, None)`` otherwise.
 
-        A corrupt or unreadable entry counts as a miss and is recomputed.
+        A corrupt, unreadable or wrong-format entry counts as a miss
+        and is recomputed.
         """
         path = self._path(spec_name, base_seed, config, fn_key, point_seed)
         try:
-            with path.open("rb") as handle:
-                value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
+            blob = path.read_bytes()
+            value = decode_result(blob)
+        except (OSError, CodecError):
             self.misses += 1
             return False, None
         self.hits += 1
@@ -125,7 +139,21 @@ class ResultCache:
     def put(self, spec_name: str, base_seed: int,
             config: Mapping[str, Any], value: Any,
             fn_key: str = "", point_seed: int = 0) -> None:
-        """Store one finished point result (atomic rename)."""
+        """Store one finished point result (codec-encoded, atomic rename)."""
+        self.put_encoded(spec_name, base_seed, config, encode_result(value),
+                         fn_key, point_seed=point_seed)
+
+    def put_encoded(self, spec_name: str, base_seed: int,
+                    config: Mapping[str, Any], blob: bytes,
+                    fn_key: str = "", point_seed: int = 0) -> None:
+        """Store one already-encoded point result (atomic rename).
+
+        This is the shared-memory transport's fast path: the worker
+        already produced the canonical codec bytes, so they flow from
+        the segment to disk without a decode/re-encode round trip.
+        Because encoding is deterministic, the entry is byte-identical
+        to what :meth:`put` would have written.
+        """
         path = self._path(spec_name, base_seed, config, fn_key, point_seed)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -133,7 +161,7 @@ class ResultCache:
         )
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(blob)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -156,7 +184,7 @@ class ResultCache:
             return []
         return sorted(
             entry.name for entry in tree.iterdir()
-            if entry.is_dir() and any(entry.glob("*.pkl"))
+            if entry.is_dir() and any(entry.glob(f"*{ENTRY_SUFFIX}"))
         )
 
     def iter_entries(self, spec_name: Optional[str] = None
@@ -172,7 +200,7 @@ class ResultCache:
             if spec_name is not None and name != spec_name:
                 continue
             for path in sorted((self.root / self.fingerprint / name)
-                               .glob("*.pkl")):
+                               .glob(f"*{ENTRY_SUFFIX}")):
                 yield name, path
 
     def entry_count(self, spec_name: Optional[str] = None) -> int:

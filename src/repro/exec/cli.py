@@ -1,11 +1,11 @@
 """Command-line glue for sweep execution.
 
 Adds the standard execution flags to an ``argparse`` parser and turns
-the parsed namespace back into the ``parallel=...``/``cache_dir=...``
-keyword arguments that runner-aware experiment entry points accept.
-Entry points that predate the runner (single-run tables and figures)
-simply don't take the keywords; :func:`supported_exec_kwargs` filters
-them out so one dispatcher can drive both kinds.
+the parsed namespace back into the ``parallel=...``/``cache_dir=...``/
+``executor=...`` keyword arguments that runner-aware experiment entry
+points accept.  Entry points that predate the runner simply don't take
+the keywords; :func:`supported_exec_kwargs` filters them out so one
+dispatcher can drive both kinds.
 """
 
 from __future__ import annotations
@@ -13,6 +13,8 @@ from __future__ import annotations
 import argparse
 import inspect
 from typing import Any, Callable, Dict, Optional
+
+from repro.exec.backends import EXECUTOR_ENV, EXECUTORS
 
 
 def _worker_count(text: str) -> int:
@@ -28,11 +30,20 @@ def _worker_count(text: str) -> int:
 
 
 def add_exec_arguments(parser: argparse.ArgumentParser) -> None:
-    """Install ``--parallel``, ``--cache-dir`` and ``--cache-clear``."""
+    """Install ``--parallel``, ``--executor`` and the cache flags."""
     parser.add_argument(
         "--parallel", type=_worker_count, default=1, metavar="N",
         help="worker-pool size for sweep points "
              "(1 = serial, 0 = one per CPU; results are identical)",
+    )
+    parser.add_argument(
+        "--executor", default=None, metavar="NAME",
+        choices=sorted(EXECUTORS),
+        help="sweep execution mechanism: one of "
+             f"{', '.join(sorted(EXECUTORS))} (default: serial for "
+             "--parallel 1, process-pool otherwise; the "
+             f"{EXECUTOR_ENV} environment variable overrides the "
+             "default; results are bit-identical either way)",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="PATH",
@@ -77,6 +88,7 @@ def exec_kwargs(namespace: argparse.Namespace) -> Dict[str, Any]:
     return {
         "parallel": namespace.parallel,
         "cache_dir": namespace.cache_dir,
+        "executor": getattr(namespace, "executor", None),
     }
 
 

@@ -1,66 +1,58 @@
-"""Sweep execution: deterministic fan-out over a worker pool, with cache.
+"""Sweep execution: deterministic fan-out over a pluggable executor.
 
-``run_sweep(spec, parallel=N)`` evaluates every point of a
+``run_sweep(spec, parallel=N, executor=...)`` evaluates every point of a
 :class:`~repro.exec.spec.SweepSpec` and returns an ordered
-``{label: result}`` mapping.  Because each point's seed is derived from
-its config (:mod:`repro.exec.seeding`) and ``run_point`` is pure, the
-results are bit-identical whether the points run serially, on ``N``
-workers, or straight out of the on-disk cache.
+``{label: result}`` mapping.  The runner owns *what* runs (cache
+consultation, ordering, failure attribution); the chosen
+:class:`~repro.exec.backends.Executor` owns *how* (in process, over a
+pool pipe, or through shared-memory segments).  Because each point's
+seed is derived from its config (:mod:`repro.exec.seeding`) and
+``run_point`` is pure, the results are bit-identical whichever executor
+runs them -- and identical again when they come straight out of the
+on-disk cache.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import sys
-import traceback
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Union
 
+from repro.exec.backends import (
+    Executor,
+    PointTask,
+    default_parallelism,
+    resolve_executor,
+)
 from repro.exec.cache import ResultCache, function_fingerprint
 from repro.exec.spec import SweepSpec
 
 
 class SweepPointError(RuntimeError):
-    """One sweep point failed; carries the failing point's identity."""
+    """One sweep point failed; carries the failing point's identity.
+
+    ``executor`` names the mechanism the point ran under, so fan-out
+    failures in sweep logs are attributable to a transport (or to the
+    point function itself, when every executor fails alike).
+    """
 
     def __init__(self, spec_name: str, label: Hashable,
-                 config: Dict[str, Any], detail: str):
+                 config: Dict[str, Any], detail: str,
+                 executor: str = "unknown"):
         self.spec_name = spec_name
         self.label = label
         self.config = config
         self.detail = detail
+        self.executor = executor
         super().__init__(
-            f"sweep {spec_name!r} point {label!r} failed "
-            f"(config={config!r}):\n{detail}"
+            f"sweep {spec_name!r} point {label!r} failed on executor "
+            f"{executor!r} (config={config!r}):\n{detail}"
         )
-
-
-def _execute_task(task: Tuple[Any, int, Dict[str, Any], int]
-                  ) -> Tuple[int, bool, Any]:
-    """Evaluate one point; never raises (failures are data).
-
-    Raising inside a pool worker would surface in the parent stripped of
-    the point's identity, so failures travel back as
-    ``(index, False, traceback text)``.
-    """
-    run_point, index, config, seed = task
-    try:
-        return index, True, run_point(config, seed)
-    except Exception:
-        # KeyboardInterrupt/SystemExit propagate: a user interrupt must
-        # abort the sweep, not masquerade as a failed point.
-        return index, False, traceback.format_exc()
-
-
-def default_parallelism() -> int:
-    """Worker count used when the caller asks for ``parallel=0``."""
-    return max(1, os.cpu_count() or 1)
 
 
 def cached_point_labels(spec: SweepSpec, cache: ResultCache) -> List[Hashable]:
     """Labels of ``spec``'s points already present in ``cache``.
 
-    A pure existence probe -- nothing is unpickled and no hit/miss
+    A pure existence probe -- nothing is decoded and no hit/miss
     counters move -- so callers can report sweep coverage (how warm a
     grid is) without deserializing every stored result.
     """
@@ -77,18 +69,22 @@ def run_sweep(
     parallel: int = 1,
     cache_dir: Optional[os.PathLike] = None,
     cache: Optional[ResultCache] = None,
+    executor: Union[Executor, str, None] = None,
 ) -> Dict[Hashable, Any]:
     """Evaluate every point of ``spec``; return ``{label: result}``.
 
     ``parallel`` is the worker-pool size (``1`` = in-process serial,
-    ``0`` = one worker per CPU).  ``cache_dir`` (or a prebuilt ``cache``)
-    enables the on-disk result cache; cached points are not recomputed.
-    Results come back in point-declaration order regardless of which
-    worker finished first.
+    ``0`` = one worker per CPU, clamped to the pending-point count).
+    ``executor`` selects the execution mechanism by registry name
+    (``serial``, ``process-pool``, ``shared-memory``) or as a prebuilt
+    :class:`~repro.exec.backends.Executor`; when omitted, the
+    ``REPRO_EXECUTOR`` environment variable and then the parallelism
+    decide.  ``cache_dir`` (or a prebuilt ``cache``) enables the on-disk
+    result cache; cached points are not recomputed.  Results come back
+    in point-declaration order regardless of which worker finished
+    first, bit-identical across executors.
     """
-    if parallel == 0:
-        parallel = default_parallelism()
-    if parallel < 1:
+    if parallel < 0:
         raise ValueError(f"parallel must be >= 0, got {parallel!r}")
     labels = spec.labels()
     if len(set(labels)) != len(labels):
@@ -114,48 +110,51 @@ def run_sweep(
         pending.append(index)
 
     tasks = [
-        (spec.run_point, index, spec.points[index].config,
-         spec.seed_for(spec.points[index]))
+        PointTask(
+            run_point=spec.run_point,
+            index=index,
+            label=spec.points[index].label,
+            config=spec.points[index].config,
+            seed=spec.seed_for(spec.points[index]),
+        )
         for index in pending
     ]
-    for index, ok, payload in _run_tasks(tasks, parallel):
+    workers = (default_parallelism(len(tasks)) if parallel == 0
+               else min(parallel, max(1, len(tasks))))
+    chosen = resolve_executor(executor, parallel=workers)
+    chosen.retain_encoded = cache is not None
+    # Results stream in completion order; each one is cached (and its
+    # transport bytes released) immediately, so a large sweep never
+    # holds more than one undelivered payload.  Failures are remembered
+    # rather than raised mid-stream: the executor finishes draining its
+    # transport, completed points still reach the cache, and the
+    # reported point is deterministic (lowest index) regardless of
+    # which worker failed first.
+    failures: Dict[int, str] = {}
+    for index, ok, payload in chosen.run(tasks, workers=workers):
         if not ok:
-            point = spec.points[index]
-            raise SweepPointError(spec.name, point.label, point.config,
-                                  payload)
+            failures[index] = payload
+            continue
         results[index] = payload
         if cache is not None:
             point = spec.points[index]
-            cache.put(spec.name, spec.base_seed, point.config, payload,
-                      fn_key, point_seed=spec.seed_for(point))
+            blob = chosen.encoded_payloads.pop(index, None)
+            if blob is not None:
+                # The transport already produced the canonical bytes;
+                # they go straight to disk without re-encoding.
+                cache.put_encoded(spec.name, spec.base_seed, point.config,
+                                  blob, fn_key,
+                                  point_seed=spec.seed_for(point))
+            else:
+                cache.put(spec.name, spec.base_seed, point.config, payload,
+                          fn_key, point_seed=spec.seed_for(point))
+    if failures:
+        index = min(failures)
+        point = spec.points[index]
+        raise SweepPointError(spec.name, point.label, point.config,
+                              failures[index], executor=chosen.name)
 
     return {
         point.label: results[index]
         for index, point in enumerate(spec.points)
     }
-
-
-def _run_tasks(tasks: List[Tuple[Any, int, Dict[str, Any], int]],
-               parallel: int) -> List[Tuple[int, bool, Any]]:
-    """Run tasks serially or on a pool; order of returns is irrelevant."""
-    workers = min(parallel, len(tasks))
-    if workers > 1:
-        try:
-            context = _pool_context()
-            with context.Pool(processes=workers) as pool:
-                return pool.map(_execute_task, tasks)
-        except OSError as exc:
-            # Sandboxes without process-spawn rights still get correct
-            # (just serial) results; determinism makes them identical.
-            # stderr, so rendered tables stay byte-identical regardless.
-            print(f"repro.exec: worker pool unavailable ({exc}); "
-                  "falling back to serial execution", file=sys.stderr)
-    return [_execute_task(task) for task in tasks]
-
-
-def _pool_context():
-    """Prefer fork (cheap, inherits the imported package) where offered."""
-    methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods:
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()

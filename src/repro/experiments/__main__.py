@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments --only t1,f3,x5     # the same, flag form
     python -m repro.experiments x1 --parallel 4     # fan sweep points out
     python -m repro.experiments --parallel 0 --cache-dir .sweep-cache
+    python -m repro.experiments x10 --parallel 0 --executor shared-memory
     python -m repro.experiments --cache-dir .sweep-cache --cache-clear
 
 Experiment ids match DESIGN.md section 4 (t1 t2 f1 f2 f3 f4 x1..x12).
@@ -14,7 +15,9 @@ Every experiment accepts ``--cache-dir`` (on-disk result cache keyed by
 config hash + code version; stale code-fingerprint trees are evicted on
 startup, ``--cache-clear`` wipes the cache entirely); sweep-shaped
 experiments also accept ``--parallel`` (worker-pool size; 0 means one
-worker per CPU).  Results are bit-identical at any parallelism.
+worker per CPU) and ``--executor`` (serial, process-pool, or
+shared-memory -- the result-transport mechanism).  Results are
+bit-identical at any parallelism under every executor.
 """
 
 from __future__ import annotations

@@ -22,11 +22,13 @@ def run_backend_smoke(
     n_caches: int = 2,
     parallel: int = 1,
     cache_dir: Optional[str] = None,
+    executor: Optional[str] = None,
 ) -> ExperimentResult:
     """X9: sim/live backend parity smoke (runs ~1s of wall-clock time)."""
     measured = run_live_smoke(
         backends=("sim", "live"), writes=writes, n_caches=n_caches,
         seed=seed, parallel=parallel, cache_dir=cache_dir,
+        executor=executor,
     )
     result = ExperimentResult(
         name="X9: Backend parity -- the same stack in virtual and wall-clock "

@@ -26,6 +26,7 @@ def run_fault_grid(
     grid: str = "x11-faults",
     parallel: int = 1,
     cache_dir: Optional[str] = None,
+    executor: Optional[str] = None,
 ) -> ExperimentResult:
     """X11: run a fault grid and summarize it per (strategy, fault plan).
 
@@ -35,7 +36,8 @@ def run_fault_grid(
     grid_def = get_grid(grid)
     if not grid_def.is_fault_grid:
         raise ValueError(f"{grid!r} is not a fault grid")
-    results = run_grid(grid_def, parallel=parallel, cache_dir=cache_dir)
+    results = run_grid(grid_def, parallel=parallel, cache_dir=cache_dir,
+                       executor=executor)
     tables = aggregate(grid_def, results)
     largest = max(grid_def.sizes)
     result = ExperimentResult(
@@ -74,6 +76,7 @@ def run_fault_soak(
     seed: int = 0,
     parallel: int = 1,
     cache_dir: Optional[str] = None,
+    executor: Optional[str] = None,
 ) -> ExperimentResult:
     """X12: fault soak smoke -- one fault plan, two substrates, same behaviour.
 
@@ -84,7 +87,7 @@ def run_fault_soak(
     """
     measured = execute_fault_soak(
         backends=("sim", "live"), seed=seed, parallel=parallel,
-        cache_dir=cache_dir,
+        cache_dir=cache_dir, executor=executor,
     )
     result = ExperimentResult(
         name="X12: Fault soak smoke -- the same fault plan in virtual and "

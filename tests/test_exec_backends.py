@@ -1,0 +1,241 @@
+"""Tests for the pluggable executor stack (``repro.exec.backends``).
+
+Point functions live at module level because worker processes import
+them by reference.  The parity tests are the tentpole guarantee: the
+executor axis is pure mechanism, so results and cache entries are
+bit-identical whichever executor produced them.
+"""
+
+import hashlib
+import json
+import multiprocessing
+from pathlib import Path
+
+import pytest
+
+from repro.exec import (
+    EXECUTOR_ENV,
+    EXECUTORS,
+    PicklePipeExecutor,
+    ResultCache,
+    SerialExecutor,
+    SharedMemoryExecutor,
+    SweepSpec,
+    default_parallelism,
+    encode_result,
+    resolve_executor,
+    run_sweep,
+)
+from repro.exec.backends import PointTask, _pool_context
+
+GOLDEN = Path(__file__).parent / "golden" / "exec_executor_signature.json"
+
+ALL_EXECUTORS = sorted(EXECUTORS)
+
+
+def trace_point(config, seed):
+    """A deterministic pseudo-trace: the large-artifact payload shape.
+
+    Built from exact binary fractions of the derived seed, so the bytes
+    are identical on every platform and under every executor.
+    """
+    count = config["count"]
+    base = seed % (1 << 20)
+    return {
+        "label": config["tag"],
+        "samples": [(base + i) / 16.0 for i in range(count)],
+        "versions": [(base + i) % 97 for i in range(count)],
+        "records": [
+            {"node": f"cache-{i % 5}", "version": i, "applied": True}
+            for i in range(count // 8)
+        ],
+        "summary": {"count": count, "seed": seed, "mean": base / 16.0},
+    }
+
+
+def failing_point(config, seed):
+    raise RuntimeError(f"point {config['tag']} exploded")
+
+
+def unencodable_point(config, seed):
+    # A payload even the codec's pickle fallback cannot serialize.
+    return {"handle": open("/dev/null")}
+
+
+def _trace_spec():
+    spec = SweepSpec(name="executor-parity", run_point=trace_point)
+    for tag in ("alpha", "beta", "gamma", "delta"):
+        spec.add(tag, tag=tag, count=64)
+    return spec
+
+
+def _signature(results):
+    blob = encode_result([[label, results[label]] for label in results])
+    return hashlib.sha256(blob).hexdigest()
+
+
+class TestResolution:
+    def test_default_is_serial_for_one_worker(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV, raising=False)
+        assert isinstance(resolve_executor(None, parallel=1), SerialExecutor)
+
+    def test_default_is_process_pool_for_many_workers(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV, raising=False)
+        assert isinstance(resolve_executor(None, parallel=4),
+                          PicklePipeExecutor)
+
+    def test_env_variable_overrides_the_default(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "shared-memory")
+        assert isinstance(resolve_executor(None, parallel=1),
+                          SharedMemoryExecutor)
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "shared-memory")
+        assert isinstance(resolve_executor("serial", parallel=4),
+                          SerialExecutor)
+
+    def test_explicit_instance_passes_through(self):
+        executor = SharedMemoryExecutor(collect_stats=True)
+        assert resolve_executor(executor, parallel=1) is executor
+
+    def test_unknown_name_rejected_with_catalog(self):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_executor("teleport", parallel=1)
+        message = str(excinfo.value)
+        assert "teleport" in message
+        for name in EXECUTORS:
+            assert name in message
+
+
+class TestParallelismDefaults:
+    def test_default_parallelism_clamps_to_task_count(self):
+        assert default_parallelism(task_count=1) == 1
+        assert default_parallelism(task_count=0) == 1
+        cpus = default_parallelism()
+        assert default_parallelism(task_count=10_000) == cpus
+        assert cpus >= 1
+
+    def test_pool_context_prefers_fork_then_falls_back(self, monkeypatch):
+        monkeypatch.setattr(multiprocessing, "get_all_start_methods",
+                            lambda: ["spawn", "fork"])
+        assert _pool_context().get_start_method() == "fork"
+        monkeypatch.setattr(multiprocessing, "get_all_start_methods",
+                            lambda: ["spawn"])
+        assert _pool_context().get_start_method() == "spawn"
+
+
+class TestExecutorParity:
+    def test_results_and_cache_entries_bit_identical(self, tmp_path):
+        results = {}
+        trees = {}
+        for name in ALL_EXECUTORS:
+            cache = ResultCache(tmp_path / name, fingerprint="pinned")
+            results[name] = run_sweep(_trace_spec(), parallel=2,
+                                      cache=cache, executor=name)
+            trees[name] = {
+                str(path.relative_to(tmp_path / name)): path.read_bytes()
+                for path in (tmp_path / name).rglob("*.res")
+            }
+        reference = ALL_EXECUTORS[0]
+        for name in ALL_EXECUTORS[1:]:
+            assert results[name] == results[reference]
+            assert list(results[name]) == list(results[reference])
+            # Same cache keys (paths) and the same bytes under them.
+            assert trees[name] == trees[reference]
+        assert len(trees[reference]) == len(_trace_spec().points)
+
+    def test_golden_signature_pinned(self):
+        golden = json.loads(GOLDEN.read_text())
+        for name in ALL_EXECUTORS:
+            measured = run_sweep(_trace_spec(), parallel=2, executor=name)
+            assert _signature(measured) == golden["signature"], (
+                f"executor {name!r} diverged from the golden sweep "
+                "signature"
+            )
+
+    def test_streamed_blobs_do_not_accumulate(self, tmp_path):
+        # Cache writes pop each encoded blob as its result streams in,
+        # so a cached sweep never holds the whole payload volume.
+        executor = SharedMemoryExecutor()
+        cache = ResultCache(tmp_path, fingerprint="pinned")
+        run_sweep(_trace_spec(), parallel=2, cache=cache,
+                  executor=executor)
+        assert executor.encoded_payloads == {}
+        assert cache.writes == len(_trace_spec().points)
+
+    def test_single_point_sweep_still_uses_the_selected_transport(self):
+        spec = SweepSpec(name="one", run_point=trace_point)
+        spec.add("only", tag="only", count=16)
+        executor = SharedMemoryExecutor(collect_stats=True)
+        measured = run_sweep(spec, parallel=1, executor=executor)
+        assert measured["only"]["summary"]["count"] == 16
+        assert executor.stats.payload_bytes > 0
+
+
+class TestSharedMemoryTransport:
+    def test_descriptors_cross_the_pipe_not_payloads(self):
+        executor = SharedMemoryExecutor(collect_stats=True)
+        run_sweep(_trace_spec(), parallel=2, executor=executor)
+        stats = executor.stats
+        assert stats.points == 4
+        assert stats.failures == 0
+        assert stats.payload_bytes > 0
+        assert stats.pipe_bytes > 0
+        # The descriptors are tiny next to the payloads they replace.
+        assert stats.pipe_bytes < stats.payload_bytes
+
+    def test_worker_side_segment_fallback_inlines_the_blob(self):
+        # Simulate segment allocation failing inside the worker: the
+        # blob rides the pipe inline, still framed and digest-checked.
+        from repro.exec.backends import SegmentRef, _evaluate_to_segment
+
+        task = PointTask(run_point=trace_point, index=0, label="x",
+                         config={"tag": "x", "count": 8}, seed=1)
+        index, ok, ref = _evaluate_to_segment(task)
+        assert ok and isinstance(ref, SegmentRef)
+        inline = SegmentRef(ref.label, None, ref.length, ref.digest,
+                            blob=encode_result(
+                                trace_point(task.config, task.seed)))
+        executor = SharedMemoryExecutor()
+        result = executor._collect_one((index, True, inline))
+        assert result[1] is True
+        assert result[2]["summary"]["count"] == 8
+        # Clean up the real segment created above.
+        from repro.exec.backends import _read_segment
+        _read_segment(ref)
+
+    def test_digest_mismatch_is_detected(self):
+        from repro.exec.backends import SegmentRef
+        from repro.exec.codec import CodecError
+
+        blob = encode_result({"x": 1})
+        bad = SegmentRef("pt", None, len(blob), "0" * 16, blob=blob)
+        with pytest.raises(CodecError):
+            SharedMemoryExecutor()._collect_one((0, True, bad))
+
+
+class TestFailurePaths:
+    @pytest.mark.parametrize("name", ALL_EXECUTORS)
+    def test_failures_travel_the_pipe_as_data(self, name):
+        from repro.exec import SweepPointError
+
+        spec = SweepSpec(name="fragile", run_point=failing_point)
+        spec.add("boom", tag="boom")
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(spec, parallel=2, executor=name)
+        assert excinfo.value.executor == name
+        assert "exploded" in excinfo.value.detail
+
+    def test_unencodable_payload_is_an_attributable_failure(self):
+        # Encoding happens in the worker; an unserializable payload must
+        # come back as a SweepPointError naming the point, not as a bare
+        # pickling error that aborts the pool.
+        from repro.exec import SweepPointError
+
+        spec = SweepSpec(name="unencodable", run_point=unencodable_point)
+        spec.add("bad", tag="bad")
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(spec, parallel=2, executor="shared-memory")
+        assert excinfo.value.label == "bad"
+        assert excinfo.value.executor == "shared-memory"
+        assert "pickle" in excinfo.value.detail.lower()

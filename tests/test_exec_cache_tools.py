@@ -1,19 +1,25 @@
-"""Tests for cache maintenance and the single-run cache port."""
+"""Tests for cache maintenance, the codec-backed cache store, and the
+single-run cache port."""
 
 import argparse
+import pickle
 
 from repro.exec import (
     ResultCache,
+    SweepSpec,
     add_exec_arguments,
     apply_cache_maintenance,
+    cached_point_labels,
     run_cached_single,
+    run_sweep,
 )
 
 
-def fabricate(root, fingerprint, name="spec", payload=b"x"):
+def fabricate(root, fingerprint, name="spec", payload=b"x",
+              filename="entry.res"):
     tree = root / fingerprint / name
     tree.mkdir(parents=True, exist_ok=True)
-    (tree / "entry.pkl").write_bytes(payload)
+    (tree / filename).write_bytes(payload)
 
 
 class TestEviction:
@@ -41,6 +47,85 @@ class TestEviction:
         cache = ResultCache(tmp_path / "never-created")
         assert cache.evict_stale() == 0
         assert cache.clear() == 0
+
+
+def identity_point(config, seed):
+    return config["payload"]
+
+
+class TestCodecBackedCache:
+    #: A payload exercising every codec shape: scalars, arrays, nesting.
+    PAYLOAD = {
+        "samples": [0.25 * i for i in range(64)],
+        "counts": list(range(32)),
+        "nested": {"label": ("a", 1, 2.5), "flag": True, "none": None},
+        "big": 1 << 80,
+        "text": "χ² ≤ ∞",
+    }
+
+    def test_round_trip_equality_through_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("spec", 0, {"payload": self.PAYLOAD}, self.PAYLOAD)
+        hit, value = cache.get("spec", 0, {"payload": self.PAYLOAD})
+        assert hit
+        assert value == self.PAYLOAD
+        assert type(value["nested"]["label"]) is tuple
+        assert list(value) == list(self.PAYLOAD), "dict order not preserved"
+
+    def test_entries_are_codec_files_not_pickles(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("spec", 0, {}, {"x": 1.0})
+        (entry,) = tmp_path.rglob("*.res")
+        assert entry.read_bytes()[:4] == b"RXC1"
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_old_format_pickle_entry_is_a_miss(self, tmp_path):
+        # An entry written at the right path but in the pre-codec pickle
+        # format must be recomputed, never unpickled as a hit.
+        cache = ResultCache(tmp_path)
+        cache.put("spec", 0, {"payload": 1}, 1)
+        (entry,) = tmp_path.rglob("*.res")
+        entry.write_bytes(pickle.dumps({"stale": "pickle"}))
+        hit, value = cache.get("spec", 0, {"payload": 1})
+        assert not hit and value is None
+
+    def test_stale_fingerprint_eviction_sweeps_old_format_trees(
+            self, tmp_path):
+        # Old-format (.pkl) entries always live under a rotated
+        # fingerprint -- the format change edited the repro sources --
+        # so evict_stale removes them wholesale.
+        cache = ResultCache(tmp_path)
+        fabricate(tmp_path, "0ldc0de0ldc0de00",
+                  payload=pickle.dumps({"legacy": True}),
+                  filename="entry.pkl")
+        fabricate(tmp_path, cache.fingerprint)
+        assert cache.evict_stale() == 1
+        assert not list(tmp_path.rglob("*.pkl"))
+        assert list(tmp_path.rglob("*.res"))
+
+    def test_iteration_api_ignores_old_format_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("spec", 0, {}, {"x": 1})
+        fabricate(tmp_path, cache.fingerprint, name="legacy",
+                  payload=b"old", filename="entry.pkl")
+        assert cache.spec_names() == ["spec"]
+        assert all(path.suffix == ".res"
+                   for _, path in cache.iter_entries())
+
+    def test_cached_point_labels_is_a_pure_existence_probe(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = SweepSpec(name="probe", run_point=identity_point)
+        for tag in ("a", "b", "c"):
+            spec.add(tag, payload=tag)
+        run_sweep(spec, parallel=1, cache=cache, executor="serial")
+        counters = (cache.hits, cache.misses, cache.writes)
+        probe = SweepSpec(name="probe", run_point=identity_point)
+        for tag in ("a", "b", "c", "d"):
+            probe.add(tag, payload=tag)
+        assert cached_point_labels(probe, cache) == ["a", "b", "c"]
+        assert (cache.hits, cache.misses, cache.writes) == counters, (
+            "the existence probe moved hit/miss counters"
+        )
 
 
 class TestCliMaintenance:
@@ -84,24 +169,29 @@ _CALLS = []
 
 
 class TestSingleRunCaching:
+    # executor="serial" is pinned: these tests observe the in-process
+    # _CALLS side effect, which a pool-based executor (e.g. a
+    # REPRO_EXECUTOR CI override) would confine to a worker process.
     def test_run_cached_single_hits_cache(self, tmp_path):
         _CALLS.clear()
         first = run_cached_single("single", _stateful_point, {"tag": "a"},
-                                  cache_dir=tmp_path)
+                                  cache_dir=tmp_path, executor="serial")
         again = run_cached_single("single", _stateful_point, {"tag": "a"},
-                                  cache_dir=tmp_path)
+                                  cache_dir=tmp_path, executor="serial")
         assert first == again == {"tag": "a", "calls": 1}
         assert _CALLS == ["a"]
         # A different config is a different cache key.
         other = run_cached_single("single", _stateful_point, {"tag": "b"},
-                                  cache_dir=tmp_path)
+                                  cache_dir=tmp_path, executor="serial")
         assert other["tag"] == "b"
         assert _CALLS == ["a", "b"]
 
     def test_without_cache_dir_runs_inline(self):
         _CALLS.clear()
-        run_cached_single("single", _stateful_point, {"tag": "c"})
-        run_cached_single("single", _stateful_point, {"tag": "c"})
+        run_cached_single("single", _stateful_point, {"tag": "c"},
+                          executor="serial")
+        run_cached_single("single", _stateful_point, {"tag": "c"},
+                          executor="serial")
         assert _CALLS == ["c", "c"]
 
 

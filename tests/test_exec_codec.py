@@ -1,0 +1,137 @@
+"""Tests for the compact binary payload codec (``repro.exec.codec``)."""
+
+import dataclasses
+import math
+import pickle
+
+import pytest
+
+from repro.exec.codec import MAGIC, CodecError, decode_result, encode_result
+
+
+def roundtrip(value):
+    return decode_result(encode_result(value))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", [
+        None, True, False,
+        0, 1, -1, 2**62, -(2**62), 2**100, -(2**100),
+        0.0, -0.0, 1.5, -2.25, 1e308, 5e-324,
+        "", "plain", "χ² ≤ ∞ ☃",
+        b"", b"\x00\xffraw",
+        [], (), {}, [1, "two", 3.0, None], (True, [2], {"k": (3,)}),
+        {"a": 1, "b": [2.5], "c": {"d": None}},
+    ])
+    def test_plain_data(self, value):
+        result = roundtrip(value)
+        assert result == value
+        assert type(result) is type(value)
+
+    def test_signed_zero_and_specials_survive(self):
+        assert math.copysign(1.0, roundtrip(-0.0)) == -1.0
+        assert roundtrip(float("inf")) == float("inf")
+        assert math.isnan(roundtrip(float("nan")))
+
+    def test_float_arrays_keep_container_type(self):
+        floats = [0.1 * i for i in range(100)]
+        assert roundtrip(floats) == floats
+        assert roundtrip(tuple(floats)) == tuple(floats)
+
+    def test_int_arrays_keep_container_type(self):
+        ints = list(range(-50, 50))
+        assert roundtrip(ints) == ints
+        assert roundtrip(tuple(ints)) == tuple(ints)
+
+    def test_mixed_and_oversized_int_sequences_fall_back(self):
+        mixed = [1, 2.0, "three", None, True] * 10
+        assert roundtrip(mixed) == mixed
+        huge = [2**70] * 10
+        assert roundtrip(huge) == huge
+
+    def test_bools_never_masquerade_as_array_ints(self):
+        flags = [True, False, True, False, True]
+        result = roundtrip(flags)
+        assert result == flags
+        assert all(type(item) is bool for item in result)
+
+    def test_bytearray_round_trips_as_bytearray(self):
+        # Mutable buffers ride the pickle frame, not the bytes tag:
+        # decoding them as bytes would silently freeze them.
+        value = {"buf": bytearray(b"mutable")}
+        result = roundtrip(value)
+        assert result == value
+        assert type(result["buf"]) is bytearray
+
+    def test_dict_insertion_order_preserved(self):
+        mapping = {"z": 1, "a": 2, "m": 3}
+        assert list(roundtrip(mapping)) == ["z", "a", "m"]
+
+    def test_non_string_dict_keys(self):
+        mapping = {("strategy", 4): 1.5, 7: "seven"}
+        assert roundtrip(mapping) == mapping
+
+    def test_arbitrary_objects_ride_pickle_frames(self):
+        value = {"metrics": Metrics(3, [1.0, 2.0]), "n": 3}
+        result = roundtrip(value)
+        assert result["metrics"] == Metrics(3, [1.0, 2.0])
+        assert result["n"] == 3
+
+
+class TestDeterminism:
+    def test_same_value_same_bytes(self):
+        value = {"samples": [0.5 * i for i in range(64)],
+                 "nested": {"k": (1, 2, 3)}}
+        assert encode_result(value) == encode_result(value)
+
+    def test_reencode_after_roundtrip_is_identical(self):
+        value = {"a": [1.0] * 32, "b": {"c": "x", "d": 2**80}}
+        blob = encode_result(value)
+        assert encode_result(decode_result(blob)) == blob
+
+    def test_large_float_arrays_are_denser_than_pickle(self):
+        samples = [0.001 * i for i in range(10_000)]
+        blob = encode_result(samples)
+        assert len(blob) < len(pickle.dumps(samples, protocol=5))
+        # 8 bytes per element plus a constant-size header.
+        assert len(blob) <= 8 * len(samples) + 16
+
+
+class TestStrictDecode:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CodecError):
+            decode_result(b"NOPE" + b"N")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(CodecError):
+            decode_result(b"")
+
+    def test_truncated_payload_rejected(self):
+        blob = encode_result([1.0] * 100)
+        with pytest.raises(CodecError):
+            decode_result(blob[:-5])
+
+    def test_trailing_garbage_rejected(self):
+        blob = encode_result({"a": 1})
+        with pytest.raises(CodecError):
+            decode_result(blob + b"junk")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError):
+            decode_result(MAGIC + b"?")
+
+    def test_corrupt_pickle_frame_rejected(self):
+        blob = bytearray(encode_result(Metrics(1, [2.0])))
+        # The frame's final byte is pickle's STOP opcode; 0x00 is not a
+        # valid opcode, so loading must fail loudly.
+        blob[-1] = 0x00
+        with pytest.raises(CodecError):
+            decode_result(bytes(blob))
+
+
+@dataclasses.dataclass
+class Metrics:
+    """Module-level stand-in for RunMetrics-style payloads (picklable)."""
+
+    count: int
+    samples: list

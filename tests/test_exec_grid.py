@@ -91,7 +91,7 @@ class TestCacheIntrospection:
         assert cache.entry_count("beta") == 2
         for name, path in cache.iter_entries("beta"):
             assert name == "beta"
-            assert path.suffix == ".pkl"
+            assert path.suffix == ".res"
 
     def test_other_fingerprints_invisible(self, tmp_path):
         _, cache = self._run(tmp_path)

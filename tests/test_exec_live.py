@@ -38,7 +38,7 @@ class TestLiveSweepEndToEnd:
 
         # The result landed in the shared on-disk cache...
         cache = ResultCache(cache_dir)
-        files = list(cache_dir.rglob("*.pkl"))
+        files = list(cache_dir.rglob("*.res"))
         assert len(files) == 1
         # ...and a re-run is served from it (no second live run: the
         # wall-clock datagram counter would almost surely differ).

@@ -130,6 +130,20 @@ class TestFailures:
         assert "boom on three" in str(error)
         assert "ValueError" in error.detail
 
+    @pytest.mark.parametrize(
+        "executor", ["serial", "process-pool", "shared-memory"]
+    )
+    def test_failure_message_names_executor_and_label(self, executor):
+        spec = SweepSpec(name="fragile", run_point=failing_point)
+        for x in (1, 2, 3):
+            spec.add(f"x={x}", x=x)
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(spec, parallel=2, executor=executor)
+        error = excinfo.value
+        assert error.executor == executor
+        assert repr(executor) in str(error)
+        assert repr("x=3") in str(error)
+
 
 class TestCache:
     def _logging_spec(self, log_path, xs=(1, 2, 3)):
@@ -213,8 +227,10 @@ class TestCache:
         cache = ResultCache(tmp_path / "cache")
         spec = self._logging_spec(log, xs=(1,))
         run_sweep(spec, parallel=1, cache=cache)
-        for entry in (tmp_path / "cache").rglob("*.pkl"):
-            entry.write_bytes(b"not a pickle")
+        entries = list((tmp_path / "cache").rglob("*.res"))
+        assert entries, "no codec entries written"
+        for entry in entries:
+            entry.write_bytes(b"not a codec payload")
         result = run_sweep(self._logging_spec(log, xs=(1,)), parallel=1,
                            cache=cache)
         assert result == {"x=1": 2}
