@@ -28,6 +28,7 @@ import multiprocessing
 import os
 import pickle
 import sys
+import time
 import traceback
 import zlib
 from typing import (
@@ -43,6 +44,12 @@ from typing import (
 )
 
 from repro.exec.codec import CodecError, decode_result, encode_result
+from repro.obs import tracer as _obs
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
 
 #: Environment variable naming the default executor when the caller
 #: does not pass one explicitly (the CI shared-memory job sets it).
@@ -97,19 +104,79 @@ def default_parallelism(task_count: Optional[int] = None) -> int:
     return workers
 
 
+@dataclasses.dataclass(frozen=True)
+class PointTelemetry:
+    """Per-point resource telemetry, measured inside the worker.
+
+    ``peak_rss_kb`` is the *process* high-water mark (``ru_maxrss``), so
+    under a reused pool worker it is an upper bound for the point, not
+    an exact attribution.  ``events`` counts traced events and is zero
+    unless the :data:`~repro.obs.tracer.TRACE_ENV` variable is set.
+    """
+
+    wall_s: float
+    peak_rss_kb: int = 0
+    events: int = 0
+
+
+class TelemetryEnvelope:
+    """Pairs one result payload with its telemetry for the trip back.
+
+    :meth:`Executor._count` -- the single point every yielded triple
+    passes through -- unwraps it, so nothing outside this module ever
+    sees an envelope in a result triple.
+    """
+
+    __slots__ = ("payload", "telemetry")
+
+    def __init__(self, payload: Any, telemetry: PointTelemetry) -> None:
+        self.payload = payload
+        self.telemetry = telemetry
+
+
+def _peak_rss_kb() -> int:
+    """The process's peak resident set size in kilobytes (0 if unknown)."""
+    if _resource is None:
+        return 0
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
+
 def _evaluate(task: PointTask) -> TaskResult:
     """Evaluate one point; never raises (failures are data).
 
     Raising inside a pool worker would surface in the parent stripped of
     the point's identity, so failures travel back as
-    ``(index, False, traceback text)``.
+    ``(index, False, traceback text)``.  Success and failure payloads
+    alike travel wrapped in a :class:`TelemetryEnvelope` carrying the
+    point's wall time and peak RSS; with :data:`~repro.obs.tracer.TRACE_ENV`
+    set, the point runs under a fresh tracer and the envelope also
+    carries the traced-event count.
     """
+    started = time.perf_counter()
+    events = 0
     try:
-        return task.index, True, task.run_point(task.config, task.seed)
+        if _obs.env_trace_requested():
+            with _obs.trace_run() as run_tracer:
+                payload = task.run_point(task.config, task.seed)
+                events = len(run_tracer)
+            _obs.env_trace_write(task.label, run_tracer)
+        else:
+            payload = task.run_point(task.config, task.seed)
     except Exception:
         # KeyboardInterrupt/SystemExit propagate: a user interrupt must
         # abort the sweep, not masquerade as a failed point.
-        return task.index, False, traceback.format_exc()
+        telemetry = PointTelemetry(
+            wall_s=time.perf_counter() - started,
+            peak_rss_kb=_peak_rss_kb(), events=events,
+        )
+        return task.index, False, TelemetryEnvelope(
+            traceback.format_exc(), telemetry
+        )
+    telemetry = PointTelemetry(
+        wall_s=time.perf_counter() - started,
+        peak_rss_kb=_peak_rss_kb(), events=events,
+    )
+    return task.index, True, TelemetryEnvelope(payload, telemetry)
 
 
 def _pool_context():
@@ -151,6 +218,9 @@ class Executor:
         #: every blob of a cacheless sweep would just be dead weight.
         self.encoded_payloads: Dict[int, bytes] = {}
         self.retain_encoded = False
+        #: Per-task-index :class:`PointTelemetry`, filled as results are
+        #: consumed; the runner drains this into the run manifest.
+        self.telemetry: Dict[int, PointTelemetry] = {}
 
     def run(self, tasks: List[PointTask], workers: int = 1
             ) -> Iterator[TaskResult]:
@@ -160,12 +230,22 @@ class Executor:
     def _reset_stats(self, tasks: List[PointTask]) -> None:
         self.stats = ExecutorStats(points=len(tasks))
         self.encoded_payloads = {}
+        self.telemetry = {}
 
     def _count(self, triple: TaskResult) -> TaskResult:
-        """Fold one yielded triple into the failure count."""
-        if not triple[1]:
+        """Fold one yielded triple into the failure count.
+
+        Also the single telemetry-unwrap point: a payload still wrapped
+        in a :class:`TelemetryEnvelope` is recorded and unwrapped here,
+        so consumers always see bare payloads.
+        """
+        index, ok, payload = triple
+        if isinstance(payload, TelemetryEnvelope):
+            self.telemetry[index] = payload.telemetry
+            payload = payload.payload
+        if not ok:
             self.stats.failures += 1
-        return triple
+        return index, ok, payload
 
 
 class SerialExecutor(Executor):
@@ -301,6 +381,9 @@ class SegmentRef:
     #: (e.g. ``/dev/shm`` unavailable); the encoded payload rides the
     #: pipe instead, still codec-framed and digest-checked.
     blob: Optional[bytes] = None
+    #: Worker-side telemetry; rides the descriptor (not the segment) so
+    #: the parent records it even for results it later fails to decode.
+    telemetry: Optional[PointTelemetry] = None
 
 
 def _payload_digest(blob: bytes) -> str:
@@ -321,23 +404,33 @@ def _evaluate_to_segment(task: PointTask) -> TaskResult:
 
     index, ok, payload = _evaluate(task)
     if not ok:
+        # The failure envelope (traceback + telemetry) is small; it
+        # travels the pipe directly and _count unwraps it as usual.
         return index, False, payload
+    telemetry = None
+    if isinstance(payload, TelemetryEnvelope):
+        telemetry, payload = payload.telemetry, payload.payload
     try:
         blob = encode_result(payload)
     except Exception:
-        return index, False, traceback.format_exc()
+        failure = traceback.format_exc()
+        if telemetry is not None:
+            return index, False, TelemetryEnvelope(failure, telemetry)
+        return index, False, failure
     digest = _payload_digest(blob)
     try:
         segment = shared_memory.SharedMemory(create=True, size=len(blob))
     except OSError:
         return index, True, SegmentRef(task.label, None, len(blob),
-                                       digest, blob=blob)
+                                       digest, blob=blob,
+                                       telemetry=telemetry)
     try:
         segment.buf[:len(blob)] = blob
         name = segment.name
     finally:
         segment.close()
-    return index, True, SegmentRef(task.label, name, len(blob), digest)
+    return index, True, SegmentRef(task.label, name, len(blob), digest,
+                                   telemetry=telemetry)
 
 
 def _read_segment(ref: SegmentRef) -> bytes:
@@ -420,7 +513,11 @@ class SharedMemoryExecutor(_PoolExecutor):
             self.stats.payload_bytes += len(blob)
         if self.retain_encoded:
             self.encoded_payloads[index] = blob
-        return index, ok, decode_result(blob)
+        decoded: Any = decode_result(blob)
+        if payload.telemetry is not None:
+            # Re-wrap so _count stays the single telemetry-unwrap point.
+            decoded = TelemetryEnvelope(decoded, payload.telemetry)
+        return index, ok, decoded
 
     def _discard(self, triple: TaskResult) -> None:
         """Unlink an abandoned segment without decoding it."""

@@ -15,7 +15,8 @@ on-disk cache.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, Hashable, List, Optional, Union
+import time
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.exec.backends import (
     Executor,
@@ -25,6 +26,7 @@ from repro.exec.backends import (
 )
 from repro.exec.cache import ResultCache, function_fingerprint
 from repro.exec.spec import SweepSpec
+from repro.obs.manifest import RunManifest, point_record
 
 
 class SweepPointError(RuntimeError):
@@ -33,19 +35,28 @@ class SweepPointError(RuntimeError):
     ``executor`` names the mechanism the point ran under, so fan-out
     failures in sweep logs are attributable to a transport (or to the
     point function itself, when every executor fails alike).
+    ``elapsed`` is the failing point's wall time inside the worker, and
+    ``manifest_entry`` the run-manifest record built for it (persisted
+    when the sweep had a manifest; still attached when not) -- so a
+    failure is inspectable through ``python -m repro.obs summary`` like
+    any other point.
     """
 
     def __init__(self, spec_name: str, label: Hashable,
                  config: Dict[str, Any], detail: str,
-                 executor: str = "unknown"):
+                 executor: str = "unknown", elapsed: float = 0.0,
+                 manifest_entry: Optional[Dict[str, Any]] = None):
         self.spec_name = spec_name
         self.label = label
         self.config = config
         self.detail = detail
         self.executor = executor
+        self.elapsed = elapsed
+        self.manifest_entry = manifest_entry
         super().__init__(
             f"sweep {spec_name!r} point {label!r} failed on executor "
-            f"{executor!r} (config={config!r}):\n{detail}"
+            f"{executor!r} after {elapsed:.3f}s (config={config!r}):"
+            f"\n{detail}"
         )
 
 
@@ -70,6 +81,7 @@ def run_sweep(
     cache_dir: Optional[os.PathLike] = None,
     cache: Optional[ResultCache] = None,
     executor: Union[Executor, str, None] = None,
+    manifest: Optional[RunManifest] = None,
 ) -> Dict[Hashable, Any]:
     """Evaluate every point of ``spec``; return ``{label: result}``.
 
@@ -83,6 +95,11 @@ def run_sweep(
     result cache; cached points are not recomputed.  Results come back
     in point-declaration order regardless of which worker finished
     first, bit-identical across executors.
+
+    ``manifest`` receives one telemetry record per point (wall time,
+    peak RSS, cache hit/miss, executor) plus the run totals; when
+    omitted, a cached sweep appends to ``manifest.jsonl`` in the cache
+    root, and a cacheless sweep records nothing.
     """
     if parallel < 0:
         raise ValueError(f"parallel must be >= 0, got {parallel!r}")
@@ -94,18 +111,26 @@ def run_sweep(
         )
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
+    if manifest is None and cache is not None:
+        manifest = RunManifest.in_dir(cache.root)
+    run_started = time.perf_counter()
     # The point function's own source is part of the cache key, so specs
     # defined outside the repro package still invalidate on edit.
     fn_key = function_fingerprint(spec.run_point) if cache else ""
 
     results: Dict[int, Any] = {}
     pending: List[int] = []
+    hit_walls: List[Tuple[int, float]] = []
     for index, point in enumerate(spec.points):
         if cache is not None:
+            probe_started = time.perf_counter()
             hit, value = cache.get(spec.name, spec.base_seed, point.config,
                                    fn_key, point_seed=spec.seed_for(point))
             if hit:
                 results[index] = value
+                hit_walls.append(
+                    (index, time.perf_counter() - probe_started)
+                )
                 continue
         pending.append(index)
 
@@ -123,6 +148,14 @@ def run_sweep(
                else min(parallel, max(1, len(tasks))))
     chosen = resolve_executor(executor, parallel=workers)
     chosen.retain_encoded = cache is not None
+    if manifest is not None:
+        # Hits are recorded once the executor is resolved so every
+        # record of this run names the same mechanism.
+        for index, wall in hit_walls:
+            manifest.record(point_record(
+                spec.name, spec.points[index].label, "ok", "hit",
+                chosen.name, wall,
+            ))
     # Results stream in completion order; each one is cached (and its
     # transport bytes released) immediately, so a large sweep never
     # holds more than one undelivered payload.  Failures are remembered
@@ -131,13 +164,30 @@ def run_sweep(
     # reported point is deterministic (lowest index) regardless of
     # which worker failed first.
     failures: Dict[int, str] = {}
+    failure_entries: Dict[int, Dict[str, Any]] = {}
     for index, ok, payload in chosen.run(tasks, workers=workers):
+        point = spec.points[index]
+        telemetry = chosen.telemetry.pop(index, None)
+        wall = telemetry.wall_s if telemetry is not None else 0.0
+        rss = telemetry.peak_rss_kb if telemetry is not None else 0
+        events = telemetry.events if telemetry is not None else 0
         if not ok:
             failures[index] = payload
+            entry = point_record(
+                spec.name, point.label, "failed", "miss", chosen.name,
+                wall, peak_rss_kb=rss, events=events, error=str(payload),
+            )
+            failure_entries[index] = entry
+            if manifest is not None:
+                manifest.record(entry)
             continue
         results[index] = payload
+        if manifest is not None:
+            manifest.record(point_record(
+                spec.name, point.label, "ok", "miss", chosen.name,
+                wall, peak_rss_kb=rss, events=events,
+            ))
         if cache is not None:
-            point = spec.points[index]
             blob = chosen.encoded_payloads.pop(index, None)
             if blob is not None:
                 # The transport already produced the canonical bytes;
@@ -148,11 +198,23 @@ def run_sweep(
             else:
                 cache.put(spec.name, spec.base_seed, point.config, payload,
                           fn_key, point_seed=spec.seed_for(point))
+    if manifest is not None:
+        manifest.record_run(
+            spec.name, chosen.name, workers, len(spec.points),
+            computed=len(tasks) - len(failures), hits=len(hit_walls),
+            failures=len(failures),
+            wall_s=time.perf_counter() - run_started,
+        )
     if failures:
         index = min(failures)
         point = spec.points[index]
-        raise SweepPointError(spec.name, point.label, point.config,
-                              failures[index], executor=chosen.name)
+        entry = failure_entries.get(index)
+        raise SweepPointError(
+            spec.name, point.label, point.config, failures[index],
+            executor=chosen.name,
+            elapsed=entry["wall_s"] if entry else 0.0,
+            manifest_entry=entry,
+        )
 
     return {
         point.label: results[index]

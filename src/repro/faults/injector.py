@@ -39,6 +39,7 @@ from repro.faults.plan import (
     Partition,
     RestartNode,
 )
+from repro.obs import tracer as _obs
 
 
 class FaultInjector:
@@ -129,6 +130,11 @@ class FaultInjector:
             transport.restart_node(event.node)
         else:  # pragma: no cover - plans validate event types at build
             raise TypeError(f"unknown fault event {event!r}")
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.event(
+                self.clock.now, "fault.apply",
+                fault=type(event).__name__, detail=str(event),
+            )
         self.applied.append((self.clock.now, event))
 
     # -- measurement windows ---------------------------------------------------

@@ -48,6 +48,7 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.obs import tracer as _obs
 from repro.sim.rng import SeededRng
 
 #: One queued reliable datagram: (src, dst, payload, size_bytes).
@@ -117,6 +118,14 @@ class FaultableTransportMixin:
         self._partition_queue: List[QueuedDatagram] = []
         self._crashed: set = set()
         self._fault_lock = threading.RLock()
+
+    def _obs_now(self) -> float:
+        """The concrete transport's clock reading for trace timestamps.
+
+        The mixin has no clock of its own; both networks override this
+        (virtual time on sim, wall-clock seconds on live).
+        """
+        return 0.0
 
     # -- partitions -----------------------------------------------------------
 
@@ -237,14 +246,29 @@ class FaultableTransportMixin:
         with self._fault_lock:
             if src in self._crashed or dst in self._crashed:
                 self.stats.datagrams_dropped_crashed += 1
+                if _obs.ACTIVE is not None:
+                    _obs.ACTIVE.event(
+                        self._obs_now(), "net.drop", node=dst,
+                        src=src, reason="crashed",
+                    )
                 return True
             if self.partitioned(src, dst):
                 if reliable:
                     self._partition_queue.append(
                         (src, dst, payload, size_bytes)
                     )
+                    if _obs.ACTIVE is not None:
+                        _obs.ACTIVE.event(
+                            self._obs_now(), "net.queue", node=dst,
+                            src=src, reason="partition",
+                        )
                 else:
                     self.stats.datagrams_dropped_partition += 1
+                    if _obs.ACTIVE is not None:
+                        _obs.ACTIVE.event(
+                            self._obs_now(), "net.drop", node=dst,
+                            src=src, reason="partition",
+                        )
                 return True
         return False
 
@@ -270,5 +294,9 @@ class FaultableTransportMixin:
         """Drop (and count) a datagram in flight when its target died."""
         if dst in self._crashed:
             self.stats.datagrams_dropped_crashed += 1
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.event(
+                    self._obs_now(), "net.drop", node=dst, reason="crashed",
+                )
             return True
         return False

@@ -27,6 +27,8 @@ from typing import Callable, Dict, Optional, Sequence, Set, Tuple
 
 from repro.faults.transport import FaultableTransportMixin
 from repro.net.latency import ConstantLatency, LatencyModel
+from repro.obs import tracer as _obs
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel import Simulator
 
 #: A receive handler: ``handler(src, payload, size_bytes)``.
@@ -39,6 +41,12 @@ class NetworkStats:
 
     Both the simulated and the live transport fill the same counter set,
     so fault metrics aggregate identically across backends.
+
+    Since the metrics registry became the export surface, this class is
+    a thin compatibility shim: :meth:`bind` mirrors every field into a
+    named :class:`~repro.obs.metrics.Counter`, and the historical
+    attribute-increment API keeps working unchanged (each assignment
+    also updates the bound counter).
     """
 
     datagrams_sent: int = 0
@@ -49,6 +57,30 @@ class NetworkStats:
     datagrams_dropped_unregistered: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
+
+    def bind(self, registry: MetricsRegistry,
+             prefix: str = "net") -> "NetworkStats":
+        """Mirror every counter field into ``registry`` as ``prefix.field``.
+
+        Returns ``self`` so construction chains:
+        ``NetworkStats().bind(metrics)``.
+        """
+        mirror = {}
+        for field in dataclasses.fields(self):
+            counter = registry.counter(f"{prefix}.{field.name}")
+            counter.set(getattr(self, field.name))
+            mirror[field.name] = counter
+        self._mirror = mirror
+        return self
+
+    def __setattr__(self, name: str, value: object) -> None:
+        """Assign the attribute and update its bound registry counter."""
+        object.__setattr__(self, name, value)
+        # _mirror is absent both before bind() and during dataclass
+        # __init__ field assignment; plain instances stay plain.
+        mirror = self.__dict__.get("_mirror")
+        if mirror is not None and name in mirror:
+            mirror[name].set(value)
 
     def reset(self) -> None:
         """Zero all counters in place."""
@@ -71,7 +103,8 @@ class Network(FaultableTransportMixin):
     ) -> None:
         self.sim = sim
         self.latency = latency or ConstantLatency()
-        self.stats = NetworkStats()
+        self.metrics = MetricsRegistry()
+        self.stats = NetworkStats().bind(self.metrics)
         self._handlers: Dict[str, ReceiveHandler] = {}
         self._fifo_clock: Dict[Tuple[str, str], float] = {}
         self._init_faults(
@@ -92,6 +125,10 @@ class Network(FaultableTransportMixin):
         """Whether a node currently has a receive handler."""
         return node in self._handlers
 
+    def _obs_now(self) -> float:
+        """Trace timestamps come from the shared virtual clock."""
+        return self.sim.now
+
     # -- sending ----------------------------------------------------------------
 
     def send(
@@ -107,8 +144,18 @@ class Network(FaultableTransportMixin):
             raise NodeNotRegistered(src)
         self.stats.datagrams_sent += 1
         self.stats.bytes_sent += size_bytes
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.event(
+                self.sim.now, "net.send", node=src,
+                dst=dst, size=size_bytes, reliable=reliable,
+            )
         if dst not in self._handlers:
             self.stats.datagrams_dropped_unregistered += 1
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.event(
+                    self.sim.now, "net.drop", node=dst,
+                    src=src, reason="unregistered",
+                )
             return
         if self._fault_blocked(src, dst, payload, size_bytes, reliable):
             return
@@ -150,6 +197,11 @@ class Network(FaultableTransportMixin):
         self, src: str, dst: str, payload: object, size_bytes: int
     ) -> None:
         if self._lose_unreliable():
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.event(
+                    self.sim.now, "net.drop", node=dst,
+                    src=src, reason="loss",
+                )
             return
         delay = self.latency.delay(src, dst, size_bytes)
         self.sim.schedule(delay, self._arrive, src, dst, payload, size_bytes)
@@ -160,9 +212,19 @@ class Network(FaultableTransportMixin):
         handler = self._handlers.get(dst)
         if handler is None:
             self.stats.datagrams_dropped_unregistered += 1
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.event(
+                    self.sim.now, "net.drop", node=dst,
+                    src=src, reason="unregistered",
+                )
             return
         self.stats.datagrams_delivered += 1
         self.stats.bytes_delivered += size_bytes
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.event(
+                self.sim.now, "net.deliver", node=dst,
+                src=src, size=size_bytes,
+            )
         handler(src, payload, size_bytes)
 
     # -- introspection ---------------------------------------------------------------

@@ -1,0 +1,8 @@
+"""``python -m repro.obs`` dispatch."""
+
+import sys
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

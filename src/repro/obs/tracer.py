@@ -1,0 +1,221 @@
+"""Structured event tracing, zero-cost when disabled.
+
+One module-level slot, :data:`ACTIVE`, holds the installed tracer (or
+``None``).  Every hook site in the stack guards its emission with
+``if tracer.ACTIVE is not None`` -- one attribute load and an identity
+check -- so an untraced run pays essentially nothing on its hot paths
+(the bench gate in ``benchmarks/bench_obs.py`` pins this below 2%).
+
+Timestamps are *passed in* by the hook site from its own
+:class:`~repro.transport.interface.Clock`: virtual seconds under the
+simulator, wall-clock seconds under the live loop.  The tracer never
+reads a clock itself, which is what makes a seeded simulated run's
+trace fully deterministic -- and therefore golden-pinnable and
+bit-identical across sweep executors (the trace is built inside the
+worker evaluating the point, wherever that worker runs).
+
+Always check the live slot through the module (``tracer.ACTIVE``), not
+through a ``from``-import -- the binding changes at install time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Protocol
+
+#: Environment variable enabling tracing inside sweep workers.  ``"1"``
+#: (or any non-path truthy value) traces each point and records the
+#: event count in the run manifest; a directory path additionally
+#: writes one ``trace-<label>.jsonl`` file per point under it.
+TRACE_ENV = "REPRO_TRACE"
+
+#: The installed tracer; ``None`` means tracing is disabled and every
+#: hook site short-circuits.  Mutate only through :func:`install` /
+#: :func:`uninstall` / :func:`trace_run`.
+ACTIVE: Optional["Tracer"] = None
+
+#: Event keys reserved for the envelope; detail kwargs must not collide.
+RESERVED_KEYS = ("t", "kind", "node", "obj")
+
+
+class Tracer(Protocol):
+    """What a hook site needs from an installed tracer."""
+
+    def event(
+        self,
+        time: float,
+        kind: str,
+        node: Optional[str] = None,
+        obj: Optional[str] = None,
+        **detail: Any,
+    ) -> None:
+        """Record one structured event at ``time`` (the caller's clock)."""
+        ...
+
+
+def _plain(value: Any) -> Any:
+    """Coerce one detail value to deterministic plain data.
+
+    Scalars pass through; mappings and sequences recurse; anything else
+    (enums, ids, records) becomes its ``str`` so traces serialize the
+    same way under every executor and never hold object references.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): _plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=str) if isinstance(
+            value, (set, frozenset)) else value
+        return [_plain(item) for item in items]
+    return str(value)
+
+
+class RecordingTracer:
+    """Collects events in memory as plain, JSONL-serializable dicts."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def event(
+        self,
+        time: float,
+        kind: str,
+        node: Optional[str] = None,
+        obj: Optional[str] = None,
+        **detail: Any,
+    ) -> None:
+        """Append one event; detail values are flattened to plain data."""
+        record: Dict[str, Any] = {
+            "t": float(time),
+            "kind": kind,
+            "node": node,
+            "obj": obj,
+        }
+        for key, value in detail.items():
+            record[key] = _plain(value)
+        self.events.append(record)
+
+    @contextlib.contextmanager
+    def span(
+        self,
+        clock: Any,
+        kind: str,
+        node: Optional[str] = None,
+        obj: Optional[str] = None,
+        **detail: Any,
+    ) -> Iterator[None]:
+        """Record one event covering the enclosed block, with ``dur``.
+
+        ``clock`` is anything with a ``now`` attribute (Simulator or
+        LiveLoop); the event is stamped at entry time and carries the
+        elapsed clock duration.
+        """
+        started = clock.now
+        try:
+            yield
+        finally:
+            self.event(started, kind, node=node, obj=obj,
+                       dur=clock.now - started, **detail)
+
+    def to_jsonl(self) -> str:
+        """The whole trace as deterministic JSONL."""
+        return events_jsonl(self.events)
+
+    def write_jsonl(self, path: os.PathLike) -> None:
+        """Persist the trace to ``path`` as JSONL."""
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(self.to_jsonl())
+
+    def __len__(self) -> int:
+        """Number of recorded events."""
+        return len(self.events)
+
+
+class NullTracer:
+    """A tracer that drops everything (for API-compatible no-op wiring)."""
+
+    def event(self, time: float, kind: str, node: Optional[str] = None,
+              obj: Optional[str] = None, **detail: Any) -> None:
+        """Discard the event."""
+
+    @contextlib.contextmanager
+    def span(self, clock: Any, kind: str, node: Optional[str] = None,
+             obj: Optional[str] = None, **detail: Any) -> Iterator[None]:
+        """Run the block; record nothing."""
+        yield
+
+
+def events_jsonl(events: List[Dict[str, Any]]) -> str:
+    """Render a list of event dicts as canonical JSONL.
+
+    Sorted keys and compact separators make the bytes a pure function
+    of the event data -- the representation the golden trace test pins.
+    """
+    return "".join(
+        json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+        for event in events
+    )
+
+
+def install(tracer: Optional[Tracer]) -> None:
+    """Install ``tracer`` as the active tracer (``None`` disables)."""
+    global ACTIVE
+    ACTIVE = tracer
+
+
+def uninstall() -> None:
+    """Disable tracing (hook sites return to the no-op fast path)."""
+    install(None)
+
+
+def enabled() -> bool:
+    """Whether a tracer is currently installed."""
+    return ACTIVE is not None
+
+
+@contextlib.contextmanager
+def trace_run() -> Iterator[RecordingTracer]:
+    """Trace the enclosed block into a fresh :class:`RecordingTracer`.
+
+    The previously installed tracer (usually ``None``) is restored on
+    exit, so nested scopes compose: the innermost tracer owns the
+    events emitted while it is active.
+    """
+    tracer = RecordingTracer()
+    previous = ACTIVE
+    install(tracer)
+    try:
+        yield tracer
+    finally:
+        install(previous)
+
+
+def env_trace_requested() -> bool:
+    """Whether the :data:`TRACE_ENV` variable asks workers to trace."""
+    return bool(os.environ.get(TRACE_ENV))
+
+
+def env_trace_write(label: Any, tracer: RecordingTracer) -> None:
+    """Persist one point's trace if :data:`TRACE_ENV` names a directory.
+
+    With the variable set to a plain flag (``"1"``), only the event
+    count is kept (it travels in the run manifest); a directory value
+    gets one ``trace-<label>.jsonl`` per point.  Best-effort: telemetry
+    must never fail a sweep point.
+    """
+    target = os.environ.get(TRACE_ENV, "")
+    if target in ("", "0", "1", "true", "false"):
+        return
+    safe = "".join(
+        ch if ch.isalnum() or ch in "-_." else "_" for ch in str(label)
+    )
+    try:
+        os.makedirs(target, exist_ok=True)
+        tracer.write_jsonl(os.path.join(target, f"trace-{safe}.jsonl"))
+    except OSError:
+        pass

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set
 from repro.coherence.ordering import SequentialOrdering
 from repro.coherence.records import WriteRecord
 from repro.comm.message import Message
+from repro.obs import tracer as _obs
 from repro.replication import messages as mk
 from repro.replication.policy import CoherenceTransfer, Propagation
 
@@ -35,6 +36,7 @@ class CoherenceEmitter:
                 mk.NOTIFY, {"version": engine.ordering.applied.as_dict()}
             )
             engine.counters["tx:notify"] += len(targets)
+            self._trace_emit("notify", targets)
             engine.control.multicast(targets, message)
             return
         if engine.policy.propagation is Propagation.INVALIDATE:
@@ -49,15 +51,29 @@ class CoherenceEmitter:
                 {"keys": keys, "version": engine.ordering.applied.as_dict()},
             )
             engine.counters["tx:invalidate"] += len(targets)
+            self._trace_emit("invalidate", targets)
             engine.control.multicast(targets, message)
             return
         if engine.policy.coherence_transfer is CoherenceTransfer.FULL:
             message = Message(mk.UPDATE_FULL, self.snapshot_body())
             engine.counters["tx:update_full"] += len(targets)
+            self._trace_emit("update_full", targets)
             engine.control.multicast(targets, message)
             return
         for target in targets:
             self.send_update(target, records)
+
+    def _trace_emit(self, message: str, targets: Sequence[str]) -> None:
+        """Emit one ``repl.emit`` trace event (no-op when tracing is off)."""
+        if _obs.ACTIVE is None:
+            return
+        engine = self.engine
+        _obs.ACTIVE.event(
+            engine.control.now(), "repl.emit",
+            node=engine.control.address,
+            message=message, targets=len(targets),
+            strategy=engine.strategy_label,
+        )
 
     def send_update(
         self, target: str, records: Sequence[WriteRecord]
@@ -68,6 +84,13 @@ class CoherenceEmitter:
             mk.UPDATE, {"records": [r.to_wire() for r in records]}
         )
         engine.counters["tx:update"] += 1
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.event(
+                engine.control.now(), "repl.emit",
+                node=engine.control.address,
+                message="update", records=len(records), target=target,
+                strategy=engine.strategy_label,
+            )
         engine.control.send(target, message)
 
     def snapshot_body(self) -> Dict[str, Any]:

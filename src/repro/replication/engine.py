@@ -122,6 +122,21 @@ class StoreReplicationObject(ReplicationObject):
         """Whether this store is the root of the hierarchy."""
         return self.parent is None
 
+    @property
+    def strategy_label(self) -> str:
+        """The Table-1 strategy as a compact slash-joined label.
+
+        ``propagation/initiative/instant/coherence-transfer``, e.g.
+        ``update/push/immediate/full`` -- the name trace events carry so
+        per-strategy traffic is filterable in one pass.
+        """
+        policy = self.policy
+        return (
+            f"{policy.propagation.value}/{policy.transfer_initiative.value}"
+            f"/{policy.transfer_instant.value}"
+            f"/{policy.coherence_transfer.value}"
+        )
+
     def start(self) -> None:
         """Arm the propagation strategy's timers, if the policy needs any."""
         self.propagation.start()

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.coherence.models import CoherenceModel
 from repro.coherence.records import WriteRecord
+from repro.obs import tracer as _obs
 from repro.replication.policy import TransferInitiative, TransferInstant
 
 
@@ -74,6 +75,19 @@ class PropagationStrategy:
             and skip != engine.parent
         ):
             engine.emission.send_update(engine.parent, locally_accepted)
+        if _obs.ACTIVE is not None:
+            if engine.policy.transfer_initiative is TransferInitiative.PULL:
+                decision = "pull-hold"
+            elif engine.policy.transfer_instant is TransferInstant.LAZY:
+                decision = "lazy-buffer"
+            else:
+                decision = "push"
+            _obs.ACTIVE.event(
+                engine.control.now(), "repl.propagate",
+                node=engine.control.address,
+                decision=decision, records=len(records),
+                strategy=engine.strategy_label,
+            )
         if engine.policy.transfer_initiative is TransferInitiative.PULL:
             return
         targets = [c for c in engine.children if c != skip]

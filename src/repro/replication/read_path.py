@@ -19,6 +19,7 @@ from repro.coherence.records import WriteRecord
 from repro.coherence.vector_clock import VectorClock
 from repro.comm.invocation import MarshalledInvocation, decode_invocation
 from repro.comm.message import Message
+from repro.obs import tracer as _obs
 from repro.replication import messages as mk
 from repro.replication.policy import (
     AccessTransfer,
@@ -93,6 +94,22 @@ class ReadDemandPath:
             and engine.policy.transfer_instant is TransferInstant.IMMEDIATE
             and engine.parent is not None
         )
+        if _obs.ACTIVE is not None:
+            # Mirrors the control flow below: servable() is pure, so the
+            # extra call cannot disturb the admission outcome.
+            if pull_on_access and not entry.pulled:
+                decision = "pull-first"
+            elif self.servable(entry):
+                decision = "serve"
+            else:
+                decision = "park"
+            _obs.ACTIVE.event(
+                engine.control.now(), "repl.read",
+                node=engine.control.address,
+                obj=entry.involved[0] if entry.involved else None,
+                decision=decision, client=entry.client_id,
+                strategy=engine.strategy_label,
+            )
         if pull_on_access and not entry.pulled:
             self.waiting.append(entry)
             self.demand()

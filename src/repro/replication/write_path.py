@@ -20,6 +20,7 @@ from repro.coherence.vector_clock import VectorClock
 from repro.comm.invocation import MarshalledInvocation
 from repro.comm.message import Message
 from repro.core.ids import WriteId
+from repro.obs import tracer as _obs
 from repro.replication import messages as mk
 from repro.replication.policy import WriteSet
 from repro.sim.future import Future
@@ -89,6 +90,16 @@ class WritePath:
             engine.policy.model is CoherenceModel.EVENTUAL
             and engine.policy.write_set is WriteSet.MULTIPLE
         )
+        if _obs.ACTIVE is not None:
+            keys = tuple(engine.control.touched_keys(record.invocation))
+            _obs.ACTIVE.event(
+                engine.control.now(), "repl.write",
+                node=engine.control.address,
+                obj=keys[0] if keys else None,
+                decision="accept" if accepts_here else "forward",
+                wid=str(record.wid),
+                strategy=engine.strategy_label,
+            )
         if not accepts_here:
             self._forward(record, session, reply_src, request, future)
             return

@@ -14,7 +14,7 @@ produce the same bytes.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence
 
 from repro.faults.catalog import get_fault_plan
 from repro.report.aggregate import MetricTable, aggregate
@@ -109,16 +109,66 @@ def _crosswalk_section(grid: GridDef) -> List[str]:
     return lines
 
 
+def _health_section(health: Dict[str, Any]) -> List[str]:
+    """The opt-in run-health appendix, from one spec's manifest summary.
+
+    ``health`` is one spec's stats dict as produced by
+    :func:`repro.obs.manifest.summarize_manifest`.  Wall times and RSS
+    are machine-dependent, which is exactly why this section is opt-in
+    (``--health``) and never part of the ``--check``-gated book.
+    """
+    executors = ", ".join(
+        f"`{name}` ({count})"
+        for name, count in sorted(health["executors"].items())
+    )
+    lines = [
+        "",
+        "## Run health",
+        "",
+        "Telemetry from the sweep run manifest (`manifest.jsonl` in the "
+        "cache directory; inspect with `python -m repro.obs summary`).  "
+        "Timings are machine-dependent, so this appendix only appears "
+        "with `--health` and is not compared by `--check`.",
+        "",
+        f"- points evaluated: {health['points']} "
+        f"({health['hits']} cache hits, {health['computed']} computed, "
+        f"{health['failed']} failed)",
+        f"- wall time: {health['wall_total_s']:.3f} s total, "
+        f"{health['wall_mean_s']:.3f} s mean, "
+        f"{health['wall_max_s']:.3f} s max",
+        f"- peak worker RSS: {health['peak_rss_kb']} KB",
+        f"- traced events: {health['events']}",
+        f"- executors: {executors}",
+    ]
+    if health["slowest"]:
+        lines += [
+            "",
+            "Slowest computed points:",
+            "",
+            "| point | wall (s) |",
+            "|---|---|",
+        ]
+        for label, wall in health["slowest"]:
+            lines.append(f"| `{label}` | {wall:.3f} |")
+    for failure in health["failures"]:
+        lines.append(f"- **FAILED** `{failure['label']}`: "
+                     f"{failure['error']}")
+    return lines
+
+
 def book_artifacts(
     grid: GridDef,
     results: Mapping[Hashable, Dict[str, float]],
     metrics: Optional[Sequence[str]] = None,
+    health: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, str]:
     """Render one grid into ``{relative path: file content}``.
 
     ``metrics`` restricts the book to a subset of metric keys (default:
     every registered metric).  The mapping contains ``RESULTS.md`` plus
-    one SVG per rendered metric.
+    one SVG per rendered metric.  ``health`` (a spec's stats dict from
+    :func:`repro.obs.manifest.summarize_manifest`) appends the opt-in
+    run-health appendix; the committed, ``--check``-gated book omits it.
     """
     validate_metric_keys(metrics)
     selected = (
@@ -176,6 +226,8 @@ def book_artifacts(
             ascii_heatmap(table),
             "```",
         ]
+    if health is not None:
+        lines += _health_section(health)
     artifacts[BOOK_NAME] = "\n".join(lines) + "\n"
     return artifacts
 

@@ -66,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
              "under --out are missing or stale instead of writing them",
     )
     parser.add_argument(
+        "--health", action="store_true",
+        help="append the run-health appendix (per-point timing from the "
+             "cache's manifest.jsonl; requires --cache-dir)",
+    )
+    parser.add_argument(
         "--list", action="store_true", dest="list_grids",
         help="list registered grids and metrics, then exit",
     )
@@ -107,6 +112,17 @@ def main(argv: List[str]) -> int:
         print("--check compares the full book; it cannot be combined "
               "with --metric", file=sys.stderr)
         return 2
+    if args.health and args.check:
+        # The health appendix carries machine-dependent timings; a book
+        # containing it can never byte-match the committed one.
+        print("--check compares the committed book, which never "
+              "contains the run-health appendix; drop --health",
+              file=sys.stderr)
+        return 2
+    if args.health and args.cache_dir is None:
+        print("--health reads manifest.jsonl from the cache; pass "
+              "--cache-dir", file=sys.stderr)
+        return 2
     maintenance = apply_cache_maintenance(args)
     if maintenance:
         print(maintenance)
@@ -118,7 +134,27 @@ def main(argv: List[str]) -> int:
         print(f"grid {grid.name}: {warm}/{len(spec.points)} points cached")
     results = run_grid(grid, parallel=args.parallel, cache=cache,
                        executor=args.executor)
-    artifacts = book_artifacts(grid, results, metrics=args.metric)
+    health = None
+    if args.health:
+        from repro.obs import MANIFEST_NAME, load_manifest, summarize_manifest
+
+        spec_name = grid_spec(grid).name
+        manifest_path = Path(args.cache_dir) / MANIFEST_NAME
+        try:
+            records = load_manifest(manifest_path)
+        except OSError as exc:
+            print(f"cannot read manifest {manifest_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        health = summarize_manifest(
+            records, spec=spec_name
+        )["specs"].get(spec_name)
+        if health is None:
+            print(f"manifest has no records for sweep {spec_name!r}",
+                  file=sys.stderr)
+            return 2
+    artifacts = book_artifacts(grid, results, metrics=args.metric,
+                               health=health)
     out_dir = Path(args.out)
     if args.check:
         stale = check_book(

@@ -16,6 +16,8 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.faults.transport import FaultableTransportMixin
 from repro.net.network import NetworkStats
+from repro.obs import tracer as _obs
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.rng import SeededRng
 
 
@@ -165,10 +167,15 @@ class LiveNetwork(FaultableTransportMixin):
     def __init__(self, loop: LiveLoop, latency: float = 0.0) -> None:
         self.loop = loop
         self.latency = latency
-        self.stats = NetworkStats()
+        self.metrics = MetricsRegistry()
+        self.stats = NetworkStats().bind(self.metrics)
         self._handlers: Dict[str, Callable] = {}
         self._lock = threading.Lock()
         self._init_faults(loss_rng=loop.rng.fork("network-loss"))
+
+    def _obs_now(self) -> float:
+        """Trace timestamps come from the loop's wall clock."""
+        return self.loop.now
 
     def register(self, node: str, handler: Callable) -> None:
         """Attach a node's receive handler."""
@@ -196,6 +203,14 @@ class LiveNetwork(FaultableTransportMixin):
         """Deliver after the configured latency, on the dispatcher."""
         self.stats.datagrams_sent += 1
         self.stats.bytes_sent += size_bytes
+        if _obs.ACTIVE is not None:
+            # send() may run on any thread; RecordingTracer's list append
+            # is atomic, so concurrent emissions interleave but never
+            # corrupt (live traces are not deterministic anyway).
+            _obs.ACTIVE.event(
+                self.loop.now, "net.send", node=src,
+                dst=dst, size=size_bytes, reliable=reliable,
+            )
         if self._fault_blocked(src, dst, payload, size_bytes, reliable):
             return
         if reliable:
@@ -213,6 +228,11 @@ class LiveNetwork(FaultableTransportMixin):
                             size_bytes: int) -> None:
         """Unreliable delivery: subject to the (fault-driven) loss rate."""
         if self._lose_unreliable():
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.event(
+                    self.loop.now, "net.drop", node=dst,
+                    src=src, reason="loss",
+                )
             return
         self.loop.schedule(self.latency, self._arrive, src, dst, payload,
                            size_bytes)
@@ -225,9 +245,19 @@ class LiveNetwork(FaultableTransportMixin):
             handler = self._handlers.get(dst)
         if handler is None:
             self.stats.datagrams_dropped_unregistered += 1
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.event(
+                    self.loop.now, "net.drop", node=dst,
+                    src=src, reason="unregistered",
+                )
             return
         self.stats.datagrams_delivered += 1
         self.stats.bytes_delivered += size_bytes
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.event(
+                self.loop.now, "net.deliver", node=dst,
+                src=src, size=size_bytes,
+            )
         handler(src, payload, size_bytes)
 
     def multicast(self, src: str, dsts, payload: object,

@@ -11,12 +11,21 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+from repro.obs import tracer as _obs
 from repro.sim.errors import (
     SchedulingInPastError,
     SimulationLimitExceeded,
 )
 from repro.sim.events import Event
 from repro.sim.rng import SeededRng
+
+
+def _callable_name(fn: Callable[..., Any]) -> str:
+    """A stable display name for a scheduled callable (trace detail)."""
+    name = getattr(fn, "__qualname__", None)
+    if name is None:
+        name = getattr(fn, "__name__", None)
+    return name if name is not None else type(fn).__name__
 
 
 class Simulator:
@@ -88,6 +97,11 @@ class Simulator:
             )
         event = Event(time=time, seq=self._seq, fn=fn, args=args, daemon=daemon)
         self._seq += 1
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.event(
+                self._now, "sim.schedule", at=round(time, 9),
+                seq=event.seq, fn=_callable_name(fn), daemon=daemon,
+            )
         if not daemon:
             self._live += 1
             event._cancel_hook = self._on_live_cancel
@@ -112,6 +126,11 @@ class Simulator:
                 self._live -= 1
             self._now = event.time
             self._fired += 1
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.event(
+                    self._now, "sim.fire",
+                    seq=event.seq, fn=_callable_name(event.fn),
+                )
             event.fire()
             return True
         return False

@@ -76,3 +76,28 @@ def test_check_does_not_flag_other_grids_heatmaps(tmp_path, capsys):
     stray.write_text("<svg/>")
     assert main(["--grid", "table1-small", "--out", out, "--check"]) == 1
     assert "(orphaned)" in capsys.readouterr().out
+
+
+def test_health_appendix_renders_from_manifest(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    out = tmp_path / "book"
+    assert main(["--grid", "table1-small", "--out", str(out),
+                 "--cache-dir", cache, "--health"]) == 0
+    book = (out / BOOK_NAME).read_text()
+    assert "## Run health" in book
+    assert "points evaluated: 16 (0 cache hits, 16 computed, 0 failed)" \
+        in book
+    assert "Slowest computed points" in book
+
+
+def test_health_rejected_with_check(tmp_path, capsys):
+    assert main(["--grid", "table1-small", "--out", str(tmp_path),
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--health", "--check"]) == 2
+    assert "drop --health" in capsys.readouterr().err
+
+
+def test_health_requires_cache_dir(tmp_path, capsys):
+    assert main(["--grid", "table1-small", "--out", str(tmp_path),
+                 "--health"]) == 2
+    assert "--cache-dir" in capsys.readouterr().err
