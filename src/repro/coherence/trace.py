@@ -80,6 +80,9 @@ class ReadEvent(TraceEvent):
     served_vc: Dict[str, int]
     requirement: Dict[str, int]
     result_meta: Optional[Dict[str, Any]] = None
+    #: Identical cohort clients this one served request stood in for;
+    #: metrics multiply by this so cohort runs weight correctly.
+    weight: int = 1
 
 
 class TraceRecorder:
@@ -168,13 +171,19 @@ class TraceRecorder:
         served_vc: Dict[str, int],
         requirement: Optional[Dict[str, int]] = None,
         result_meta: Optional[Dict[str, Any]] = None,
+        weight: int = 1,
     ) -> None:
-        """A store served a read; ``served_vc`` is its VC at serve time."""
+        """A store served a read; ``served_vc`` is its VC at serve time.
+
+        ``weight`` counts the cohort clients the read represents (1 for
+        an ordinary per-client read).
+        """
         self.events.append(
             ReadEvent(
                 index=self._next_index(), time=time, store=store,
                 client_id=client_id, served_vc=dict(served_vc),
                 requirement=dict(requirement or {}), result_meta=result_meta,
+                weight=weight,
             )
         )
 
@@ -273,8 +282,12 @@ def coherence_signature(
                 ("ack", str(event.wid), event.store)
             )
         elif isinstance(event, ReadEvent) and include_reads:
-            lane("client", event.client_id).append(
-                ("read", event.store, vc(event.served_vc),
-                 vc(event.requirement))
-            )
+            entry = ("read", event.store, vc(event.served_vc),
+                     vc(event.requirement))
+            if event.weight != 1:
+                # Weighted (cohort) reads extend the tuple; per-client
+                # reads keep the historical 4-tuple so existing golden
+                # signatures stay byte-identical.
+                entry = entry + (event.weight,)
+            lane("client", event.client_id).append(entry)
     return signature

@@ -123,10 +123,16 @@ class ControlObject(ControlInterface):
         self,
         invocation: MarshalledInvocation,
         session: Optional[Dict[str, Any]] = None,
+        weight: int = 1,
     ) -> Future:
-        """Entry point for method calls issued in this address space."""
+        """Entry point for method calls issued in this address space.
+
+        ``weight`` counts the identical cohort clients this call stands in
+        for (1 for an ordinary client; see :mod:`repro.workload.cohort`).
+        """
         self.invocations_served += 1
-        return self.replication.handle_invocation(invocation, session)
+        return self.replication.handle_invocation(invocation, session,
+                                                  weight=weight)
 
     def _on_message(self, src: str, message: Message) -> None:
         self.replication.handle_message(src, message)

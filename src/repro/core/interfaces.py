@@ -194,11 +194,14 @@ class ReplicationObject:
         self,
         invocation: MarshalledInvocation,
         session: Optional[Dict[str, Any]] = None,
+        weight: int = 1,
     ) -> Future:
         """Serve a client method call issued in this address space.
 
         ``session`` carries the client-based coherence context (Section
         3.2.2): the client's own write position and read dependencies.
+        ``weight`` counts the identical cohort clients the call stands in
+        for (weighted trace/metric accounting; 1 for an ordinary client).
         Resolves with the invocation result.
         """
         raise NotImplementedError

@@ -30,12 +30,17 @@ class Stub:
         method: str,
         *args: Any,
         read_only: bool = True,
+        weight: int = 1,
         **kwargs: Any,
     ) -> Future:
         """Invoke ``method`` on the distributed object.
 
         Returns a future resolved with the method result once the local
         object's coherence protocol allows the invocation to complete.
+        ``weight`` is coherence metadata, not a method argument: the call
+        stands in for that many identical cohort clients (weighted
+        accounting in traces and metrics), so it travels beside the
+        marshalled invocation rather than inside it.
         """
         invocation = MarshalledInvocation(
             method=method,
@@ -43,11 +48,14 @@ class Stub:
             kwargs=tuple(sorted(kwargs.items())),
             read_only=read_only,
         )
-        return self._control.invoke(invocation)
+        return self._control.invoke(invocation, weight=weight)
 
-    def read(self, method: str, *args: Any, **kwargs: Any) -> Future:
+    def read(
+        self, method: str, *args: Any, weight: int = 1, **kwargs: Any
+    ) -> Future:
         """Shorthand for a read-only invocation."""
-        return self.invoke(method, *args, read_only=True, **kwargs)
+        return self.invoke(method, *args, read_only=True, weight=weight,
+                           **kwargs)
 
     def write(self, method: str, *args: Any, **kwargs: Any) -> Future:
         """Shorthand for a state-modifying invocation."""

@@ -10,7 +10,7 @@ Usage::
     python -m repro.experiments x10 --parallel 0 --executor shared-memory
     python -m repro.experiments --cache-dir .sweep-cache --cache-clear
 
-Experiment ids match DESIGN.md section 4 (t1 t2 f1 f2 f3 f4 x1..x12).
+Experiment ids match DESIGN.md section 4 (t1 t2 f1 f2 f3 f4 x1..x13).
 Every experiment accepts ``--cache-dir`` (on-disk result cache keyed by
 config hash + code version; stale code-fingerprint trees are evicted on
 startup, ``--cache-clear`` wipes the cache entirely); sweep-shaped
@@ -40,6 +40,7 @@ from repro.experiments.faults import run_fault_grid, run_fault_soak
 from repro.experiments.figures import run_fig1, run_fig2
 from repro.experiments.model_costs import run_model_costs
 from repro.experiments.per_object import run_per_object
+from repro.experiments.scale import run_scale
 from repro.experiments.sessions import run_sessions
 from repro.experiments.sweeps import (
     run_initiative_and_transfer,
@@ -68,6 +69,7 @@ RUNNERS: Dict[str, Callable] = {
     "x10": run_table1_grid,
     "x11": run_fault_grid,
     "x12": run_fault_soak,
+    "x13": run_scale,
 }
 
 

@@ -87,7 +87,9 @@ def staleness_under_partition(
             and _separated(sides, sample.store, parent)
             for start, end, sides in cuts
         ):
-            lags.append(sample.time_lag)
+            # Weighted: a cohort read behind the cut counts once per
+            # represented client, matching the per-client equivalent.
+            lags.extend([sample.time_lag] * sample.weight)
     if not lags:
         return 0.0
     return sum(lags) / len(lags)

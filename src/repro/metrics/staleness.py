@@ -28,6 +28,9 @@ class StalenessSample:
     version_lag: int
     #: Age of the oldest missing acknowledged write (0 when fresh).
     time_lag: float
+    #: Identical cohort clients the read stood in for; aggregate
+    #: statistics count the sample this many times.
+    weight: int = 1
 
     @property
     def fresh(self) -> bool:
@@ -73,6 +76,7 @@ def read_staleness(
                     client_id=event.client_id,
                     version_lag=len(missing),
                     time_lag=time_lag,
+                    weight=event.weight,
                 )
             )
     return samples
@@ -100,11 +104,21 @@ def staleness_summary(
     stores: Optional[Sequence[str]] = None,
     clients: Optional[Sequence[str]] = None,
 ) -> StalenessSummary:
-    """Summarize :func:`read_staleness` over a trace."""
+    """Summarize :func:`read_staleness` over a trace.
+
+    Cohort reads count once per represented client: a weight-``w`` sample
+    contributes ``w`` reads (and ``w`` copies of its lags), so a cohorted
+    run summarizes exactly like the per-client run it stands in for.
+    """
     samples = read_staleness(trace, stores=stores, clients=clients)
+    version_lags: List[float] = []
+    time_lags: List[float] = []
+    for sample in samples:
+        version_lags.extend([float(sample.version_lag)] * sample.weight)
+        time_lags.extend([sample.time_lag] * sample.weight)
     return StalenessSummary(
-        reads=len(samples),
-        stale_reads=sum(1 for s in samples if not s.fresh),
-        version_lag=summarize([float(s.version_lag) for s in samples]),
-        time_lag=summarize([s.time_lag for s in samples]),
+        reads=sum(s.weight for s in samples),
+        stale_reads=sum(s.weight for s in samples if not s.fresh),
+        version_lag=summarize(version_lags),
+        time_lag=summarize(time_lags),
     )

@@ -85,9 +85,10 @@ class ClientReplicationObject(ReplicationObject):
         self,
         invocation: MarshalledInvocation,
         session: Optional[Dict[str, Any]] = None,
+        weight: int = 1,
     ) -> Future:
         if invocation.read_only:
-            return self._do_read(invocation)
+            return self._do_read(invocation, weight=weight)
         return self._do_write(invocation)
 
     def handle_message(self, src: str, message: Message) -> None:
@@ -95,8 +96,10 @@ class ClientReplicationObject(ReplicationObject):
 
     # -- reads ---------------------------------------------------------------
 
-    def _do_read(self, invocation: MarshalledInvocation) -> Future:
-        self.reads_issued += 1
+    def _do_read(
+        self, invocation: MarshalledInvocation, weight: int = 1
+    ) -> Future:
+        self.reads_issued += weight
         started = self.control.now()
         result: Future = Future()
         body = {
@@ -108,6 +111,11 @@ class ClientReplicationObject(ReplicationObject):
             ),
             "session": self.session.to_wire(),
         }
+        if weight != 1:
+            # Cohort read: one request standing in for ``weight`` clients.
+            # Only stamped when non-trivial so ordinary traffic (and its
+            # golden wire traces) is byte-identical to before cohorts.
+            body["weight"] = weight
         request = self.control.request(
             self.read_store,
             Message(mk.READ, body),
@@ -128,7 +136,11 @@ class ClientReplicationObject(ReplicationObject):
                 return
             version = VectorClock.from_dict(reply.body.get("version", {}))
             self.session.observe_read(version)
-            self.op_latencies.append(("read", self.control.now() - started))
+            # One latency entry per represented client, so latency and
+            # availability metrics weight cohort reads without needing a
+            # schema change in ``op_latencies``.
+            elapsed = self.control.now() - started
+            self.op_latencies.extend(("read", elapsed) for _ in range(weight))
             result.set_result(reply.body.get("result"))
 
         request.add_callback(on_reply)

@@ -156,6 +156,7 @@ class StoreReplicationObject(ReplicationObject):
         self,
         invocation: MarshalledInvocation,
         session: Optional[Dict[str, Any]] = None,
+        weight: int = 1,
     ) -> Future:
         """Serve an invocation issued *in this store's own address space*.
 
@@ -171,6 +172,7 @@ class StoreReplicationObject(ReplicationObject):
                 request=Message(mk.READ),
                 invocation=invocation,
                 session=session,
+                weight=weight,
             )
             entry.request_future = inner  # type: ignore[attr-defined]
             self.reads.admit(entry)

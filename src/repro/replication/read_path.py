@@ -47,6 +47,9 @@ class WaitingRead:
     absent: Set[str] = dataclasses.field(default_factory=set)
     #: Pull-on-access (pull+immediate) completed for this read.
     pulled: bool = False
+    #: Identical cohort clients this one request stands in for (weighted
+    #: trace/metric accounting; 1 for an ordinary client read).
+    weight: int = 1
 
 
 class ReadDemandPath:
@@ -64,7 +67,10 @@ class ReadDemandPath:
         """A remote client asked for a read."""
         invocation = decode_invocation(message.body["invocation"])
         session = message.body.get("session", {})
-        entry = self.make_waiting(src, message, invocation, session)
+        entry = self.make_waiting(
+            src, message, invocation, session,
+            weight=int(message.body.get("weight", 1)),
+        )
         self.admit(entry)
 
     def make_waiting(
@@ -73,6 +79,7 @@ class ReadDemandPath:
         request: Message,
         invocation: MarshalledInvocation,
         session: Dict[str, Any],
+        weight: int = 1,
     ) -> WaitingRead:
         """Wrap one read request with its admission context."""
         engine = self.engine
@@ -84,6 +91,7 @@ class ReadDemandPath:
             requirement=VectorClock.from_dict(session.get("requirement", {})),
             involved=tuple(engine.control.touched_keys(invocation)),
             enqueued_at=engine.control.now(),
+            weight=weight,
         )
 
     def admit(self, entry: WaitingRead) -> None:
@@ -103,13 +111,17 @@ class ReadDemandPath:
                 decision = "serve"
             else:
                 decision = "park"
-            _obs.ACTIVE.event(
-                engine.control.now(), "repl.read",
+            detail = dict(
                 node=engine.control.address,
                 obj=entry.involved[0] if entry.involved else None,
                 decision=decision, client=entry.client_id,
                 strategy=engine.strategy_label,
             )
+            if entry.weight != 1:
+                # Stamped only for cohort reads so per-client traffic keeps
+                # its historical (golden-pinned) trace shape.
+                detail["weight"] = entry.weight
+            _obs.ACTIVE.event(engine.control.now(), "repl.read", **detail)
         if pull_on_access and not entry.pulled:
             self.waiting.append(entry)
             self.demand()
@@ -182,6 +194,7 @@ class ReadDemandPath:
                 client_id=entry.client_id,
                 served_vc=served.as_dict(),
                 requirement=entry.requirement.as_dict(),
+                weight=entry.weight,
             )
         body = {"result": result, "version": served.as_dict(),
                 "store": engine.control.address}

@@ -9,12 +9,45 @@ a new consumer does not perturb the draws seen by existing ones.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import math
 import random
-from typing import List, Sequence, TypeVar
+from typing import List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
+
+
+@functools.lru_cache(maxsize=None)
+def _zipf_weights_cached(n: int, s: float) -> Tuple[float, ...]:
+    """Normalized Zipf(s) probabilities for ranks 0..n-1, memoized.
+
+    Shared module-wide: a population of identical clients pays the
+    O(n) harmonic sum once per distinct ``(n, s)``, not once per client.
+    """
+    raw = [1.0 / math.pow(rank + 1, s) for rank in range(n)]
+    total = sum(raw)
+    return tuple(w / total for w in raw)
+
+
+@functools.lru_cache(maxsize=None)
+def zipf_cumulative(n: int, s: float = 1.0) -> Tuple[float, ...]:
+    """Cumulative Zipf(s) weights for ranks 0..n-1, memoized.
+
+    ``zipf_cumulative(n, s)[i]`` equals ``sum(zipf_weights(n, s)[:i+1])``
+    with the identical left-to-right accumulation, so a bisect over this
+    table draws the same rank (from the same uniform variate) as the
+    linear scan in :meth:`SeededRng.weighted_index` -- bit-for-bit.
+    """
+    if n <= 0:
+        raise ValueError(f"population size must be positive, got {n!r}")
+    weights = _zipf_weights_cached(n, s)
+    cumulative: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight
+        cumulative.append(running)
+    return tuple(cumulative)
 
 
 class SeededRng:
@@ -78,6 +111,20 @@ class SeededRng:
             raise ValueError(f"mean must be positive, got {mean!r}")
         return self._random.expovariate(1.0 / mean)
 
+    def exponential_block(self, mean: float, count: int) -> List[float]:
+        """``count`` exponential draws in one call (vectorized epoch draw).
+
+        Consumes the stream exactly as ``count`` single
+        :meth:`exponential` calls would, so batching is invisible to
+        seeded results; it only removes per-draw call overhead from
+        workload hot loops.
+        """
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean!r}")
+        rate = 1.0 / mean
+        expovariate = self._random.expovariate
+        return [expovariate(rate) for _ in range(count)]
+
     def pareto(self, alpha: float, minimum: float = 1.0) -> float:
         """Pareto-distributed value, the classic heavy tail for web object
         sizes and think times."""
@@ -104,10 +151,12 @@ class SeededRng:
 
     @staticmethod
     def zipf_weights(n: int, s: float = 1.0) -> List[float]:
-        """Normalized Zipf(s) probabilities for ranks 0..n-1."""
-        raw = [1.0 / math.pow(rank + 1, s) for rank in range(n)]
-        total = sum(raw)
-        return [w / total for w in raw]
+        """Normalized Zipf(s) probabilities for ranks 0..n-1.
+
+        The computation is memoized module-wide by ``(n, s)``; callers
+        receive a fresh list, so mutating it cannot poison the cache.
+        """
+        return list(_zipf_weights_cached(n, s))
 
     def weighted_index(self, weights: Sequence[float]) -> int:
         """Index drawn with probability proportional to ``weights``."""

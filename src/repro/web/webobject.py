@@ -43,9 +43,14 @@ class Browser:
         """Session state (client-based coherence context)."""
         return self.bound.session
 
-    def read_page(self, name: str) -> Future:
-        """Fetch one page; resolves with the page dict."""
-        return self._stub.read("read_page", name)
+    def read_page(self, name: str, weight: int = 1) -> Future:
+        """Fetch one page; resolves with the page dict.
+
+        ``weight`` marks this read as standing in for that many identical
+        cohort members (see :mod:`repro.workload.cohort`): the protocol
+        serves one request, but traces and metrics count ``weight`` reads.
+        """
+        return self._stub.read("read_page", name, weight=weight)
 
     def write_page(self, name: str, content: str,
                    content_type: str = "text/html") -> Future:

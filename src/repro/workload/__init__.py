@@ -7,6 +7,7 @@ assemble whole deployments (server + mirrors + caches + browsers) in one
 call.
 """
 
+from repro.workload.cohort import CohortReaderWorkload, cohort_sizes
 from repro.workload.generator import (
     ReaderWorkload,
     WriterWorkload,
@@ -22,6 +23,7 @@ from repro.workload.profiles import (
 from repro.workload.scenarios import Deployment, build_tree, conference_deployment
 
 __all__ = [
+    "CohortReaderWorkload",
     "Deployment",
     "PROFILES",
     "ReaderWorkload",
@@ -29,6 +31,7 @@ __all__ = [
     "WriterWorkload",
     "ZipfPagePicker",
     "build_tree",
+    "cohort_sizes",
     "conference_deployment",
     "drive",
     "get_profile",

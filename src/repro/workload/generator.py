@@ -5,33 +5,79 @@ Workloads are :class:`~repro.sim.process.Process` generators driving
 future awaited, and the next operation follows after an exponential think
 time.  All randomness comes from forked simulation RNGs (deterministic per
 seed).
+
+Per-request randomness is drawn in vectorized per-epoch blocks
+(:data:`EPOCH` operations at a time): think times via
+:meth:`~repro.sim.rng.SeededRng.exponential_block`, page ranks via a
+bisect over memoized cumulative Zipf weights.  Every block consumes its
+RNG stream in exactly the order the historical one-draw-per-request code
+did, so seeded results -- and therefore every cached sweep and golden --
+are unchanged; only the per-request Python overhead is gone.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from bisect import bisect_right
 from typing import Generator, List, Optional, Sequence
 
 from repro.replication.client import ReplicaError
 from repro.sim.kernel import Simulator
 from repro.sim.process import Delay, Process, WaitFor
-from repro.sim.rng import SeededRng
-from repro.web.webobject import Browser
+from repro.sim.rng import SeededRng, zipf_cumulative
+
+#: Operations whose randomness is pre-drawn in one block.  Bounds the
+#: per-process buffer (a few hundred floats) while amortizing the
+#: block-draw call overhead across an epoch of requests.
+EPOCH = 256
 
 
 class ZipfPagePicker:
-    """Zipf-distributed page selection over a fixed page list."""
+    """Zipf-distributed page selection over a fixed page list.
+
+    The cumulative weight table is memoized module-wide by
+    ``(len(pages), skew)`` -- a population of identical clients shares
+    one table instead of recomputing the harmonic sum per client.
+    """
 
     def __init__(self, pages: Sequence[str], rng: SeededRng, skew: float = 1.0) -> None:
         if not pages:
             raise ValueError("pages must be non-empty")
         self.pages = list(pages)
         self.rng = rng
-        self.weights = SeededRng.zipf_weights(len(self.pages), skew)
+        self.skew = skew
+        self.cumulative = zipf_cumulative(len(self.pages), skew)
+
+    @property
+    def weights(self) -> List[float]:
+        """The (memoized) per-rank probabilities, rank 0 most popular."""
+        return SeededRng.zipf_weights(len(self.pages), self.skew)
 
     def pick(self) -> str:
-        """One page, rank-0 most popular."""
-        return self.pages[self.rng.weighted_index(self.weights)]
+        """One page, rank-0 most popular.
+
+        Draws one uniform variate and bisects the cumulative table --
+        the same rank the historical linear scan produced from the same
+        variate, in O(log n) instead of O(n).
+        """
+        last = len(self.pages) - 1
+        target = self.rng.random() * self.cumulative[last]
+        return self.pages[min(bisect_right(self.cumulative, target), last)]
+
+    def pick_block(self, count: int) -> List[str]:
+        """``count`` picks in one call (vectorized epoch draw).
+
+        Stream-order identical to ``count`` single :meth:`pick` calls.
+        """
+        random = self.rng.random
+        cumulative = self.cumulative
+        pages = self.pages
+        last = len(pages) - 1
+        total = cumulative[last]
+        return [
+            pages[min(bisect_right(cumulative, random() * total), last)]
+            for _ in range(count)
+        ]
 
 
 @dataclasses.dataclass
@@ -63,17 +109,28 @@ class ReaderWorkload:
         self.stats = WorkloadStats()
 
     def run(self) -> Generator:
-        """Generator body for :class:`~repro.sim.process.Process`."""
-        for _ in range(self.operations):
-            yield Delay(self.rng.exponential(self.mean_think))
-            page = self.picker.pick()
-            try:
-                yield WaitFor(self.browser.read_page(page))
-            except ReplicaError:
-                self.stats.not_found += 1
-            except Exception:
-                self.stats.errors += 1
-            self.stats.operations += 1
+        """Generator body for :class:`~repro.sim.process.Process`.
+
+        Randomness is pre-drawn one epoch at a time.  Think times come
+        from this workload's own stream and page picks from the picker's
+        forked stream, so blocking each independently consumes both
+        streams in the historical per-request order.
+        """
+        remaining = self.operations
+        while remaining > 0:
+            block = min(remaining, EPOCH)
+            remaining -= block
+            thinks = self.rng.exponential_block(self.mean_think, block)
+            pages = self.picker.pick_block(block)
+            for think, page in zip(thinks, pages):
+                yield Delay(think)
+                try:
+                    yield WaitFor(self.browser.read_page(page))
+                except ReplicaError:
+                    self.stats.not_found += 1
+                except Exception:
+                    self.stats.errors += 1
+                self.stats.operations += 1
         return self.stats
 
 
@@ -111,11 +168,33 @@ class WriterWorkload:
         filler = "x" * max(0, self.payload_bytes - 16)
         return f"<!--{index}-->{filler}"
 
+    def _draw_epoch(self, count: int) -> List[tuple]:
+        """``count`` (think, page) pairs drawn in interleaved order.
+
+        The writer historically alternated ``exponential`` and ``choice``
+        on one stream per operation, so the pairs must be drawn
+        interleaved -- not as two separate blocks -- to stay
+        stream-identical.
+        """
+        exponential = self.rng.exponential
+        choice = self.rng.choice
+        interval = self.interval
+        pages = self.pages
+        return [(exponential(interval), choice(pages)) for _ in range(count)]
+
     def run(self) -> Generator:
         """Generator body for :class:`~repro.sim.process.Process`."""
-        for index in range(self.operations):
-            yield Delay(self.rng.exponential(self.interval))
-            page = self.rng.choice(self.pages)
+        index = 0
+        remaining = self.operations
+        draws: List[tuple] = []
+        while remaining > 0 or draws:
+            if not draws:
+                block = min(remaining, EPOCH)
+                remaining -= block
+                draws = self._draw_epoch(block)
+                draws.reverse()  # consume via O(1) pops from the end
+            think, page = draws.pop()
+            yield Delay(think)
             content = self._payload(index)
             try:
                 if self.incremental:
@@ -127,6 +206,7 @@ class WriterWorkload:
             except Exception:
                 self.stats.errors += 1
             self.stats.operations += 1
+            index += 1
         return self.stats
 
 

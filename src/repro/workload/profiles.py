@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from repro.replication.policy import ReplicationPolicy
 from repro.sim.process import Process
+from repro.workload.cohort import CohortReaderWorkload
 from repro.workload.generator import ReaderWorkload, WriterWorkload
 from repro.workload.scenarios import Deployment, build_tree
 
@@ -105,6 +106,9 @@ def run_profile(
     fault_plan: Optional[str] = None,
     request_timeout: Optional[float] = None,
     request_retries: int = 0,
+    n_readers_per_cache: int = 1,
+    cohort_size: int = 1,
+    scheduler: Optional[str] = None,
 ) -> Deployment:
     """Drive ``profile`` over a fresh Fig. 2 tree under ``policy``.
 
@@ -120,16 +124,25 @@ def run_profile(
     executed by a timed :class:`~repro.faults.FaultInjector` attached as
     ``deployment.faults``.  ``request_timeout`` / ``request_retries``
     are passed to every browser so client operations survive outages.
+
+    The scale knobs: ``n_readers_per_cache`` multiplies the reader
+    population (historical default 1), ``cohort_size`` > 1 collapses
+    each cache's readers into weighted cohort processes, and
+    ``scheduler`` selects the simulator's event queue.  At the defaults
+    the build and its fork order are byte-identical to the historical
+    code path, so cached sweep results keep their keys.
     """
     pages = pages if pages is not None else default_pages()
     deployment = build_tree(
         policy=policy,
         n_caches=n_caches,
-        n_readers_per_cache=1,
+        n_readers_per_cache=n_readers_per_cache,
         pages=dict(pages),
         seed=seed,
         request_timeout=request_timeout,
         request_retries=request_retries,
+        scheduler=scheduler,
+        cohort_size=cohort_size,
     )
     sim = deployment.sim
     rng = sim.rng.fork("workload")
@@ -143,8 +156,24 @@ def run_profile(
         payload_bytes=profile.payload_bytes,
     )
     workloads: List[object] = [writer]
-    for name, browser in deployment.browsers.items():
+    for name, browser in list(deployment.browsers.items()):
         if name == "master":
+            continue
+        if name in deployment.cohorts:
+            workloads.append(
+                CohortReaderWorkload(
+                    browser,
+                    pages=list(pages),
+                    rng=rng.fork(name),
+                    weight=deployment.cohorts[name],
+                    mean_think=profile.read_think,
+                    operations=profile.reads_per_client,
+                    expand=(
+                        lambda client_id=name:
+                        deployment.expand_cohort(client_id)
+                    ),
+                )
+            )
             continue
         workloads.append(
             ReaderWorkload(

@@ -28,6 +28,7 @@ from repro.transport import (
     make_backend,
 )
 from repro.web.webobject import Browser, WebObject
+from repro.workload.cohort import cohort_sizes
 
 
 @dataclasses.dataclass
@@ -45,6 +46,14 @@ class Deployment:
     #: The fault injector driving this run's fault plan, when one is
     #: attached (see :func:`repro.workload.profiles.run_profile`).
     faults: Optional[Any] = None
+    #: Cohort weights by client id: each listed browser stands in for
+    #: that many identical leaf clients (see :mod:`repro.workload.cohort`).
+    cohorts: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Binding parameters per cohort, kept so :meth:`expand_cohort` can
+    #: bind individual members with the identical store and guarantees.
+    cohort_spec: Dict[str, Dict[str, Any]] = dataclasses.field(
+        default_factory=dict
+    )
 
     @property
     def engines(self) -> List[object]:
@@ -95,6 +104,32 @@ class Deployment:
         for client in self.site.dso.clients:
             client.local.destroy()
 
+    def expand_cohort(self, client_id: str) -> List[Browser]:
+        """Bind one browser per member of cohort ``client_id``.
+
+        Called (via :class:`~repro.workload.cohort.CohortReaderWorkload`'s
+        ``expand`` hook) when a policy decision diverges within the
+        cohort.  Members are named ``<client_id>.<k>``, bound to the same
+        store with the same guarantees, and registered in
+        :attr:`browsers` so metric collection sees them like any other
+        client.
+        """
+        spec = self.cohort_spec[client_id]
+        members: List[Browser] = []
+        for member in range(self.cohorts[client_id]):
+            member_id = f"{client_id}.{member}"
+            browser = self.site.bind_browser(
+                f"space-{member_id}",
+                member_id,
+                read_store=spec["read_store"],
+                guarantees=spec["guarantees"],
+                request_timeout=spec["request_timeout"],
+                request_retries=spec["request_retries"],
+            )
+            self.browsers[member_id] = browser
+            members.append(browser)
+        return members
+
     def _backend(self) -> Backend:
         if self.backend is None:
             raise BackendError(
@@ -110,11 +145,14 @@ def _resolve_backend(
     latency: Optional[LatencyModel],
     live_latency: float,
     loss_rate: float,
+    scheduler: Optional[str] = None,
 ) -> Backend:
     """Resolve the builder's backend argument into a Backend instance.
 
     A prebuilt :class:`Backend` is used as-is -- its own seed, latency
-    and loss settings apply; the builder's are ignored.
+    and loss settings apply; the builder's are ignored.  ``scheduler``
+    selects the simulator's event queue (``"heap"``/``"calendar"``) and
+    only applies to the sim backend.
     """
     if isinstance(backend, Backend):
         return backend
@@ -124,6 +162,7 @@ def _resolve_backend(
             seed=seed,
             latency=latency or ConstantLatency(0.05),
             loss_rate=loss_rate,
+            scheduler=scheduler,
         )
     if backend == LiveBackend.name:
         if latency is not None:
@@ -154,6 +193,8 @@ def build_tree(
     start_backend: bool = True,
     request_timeout: Optional[float] = None,
     request_retries: int = 0,
+    scheduler: Optional[str] = None,
+    cohort_size: int = 1,
 ) -> Deployment:
     """Build the canonical Fig. 2 tree.
 
@@ -163,6 +204,15 @@ def build_tree(
     there are no mirrors); one master client writing to the server and
     reading from the first cache; ``n_readers_per_cache`` reader clients
     per cache.
+
+    ``scheduler`` picks the simulator's event queue (``"heap"`` or
+    ``"calendar"``; sim backend only) -- a throughput knob with no
+    effect on seeded results.  ``cohort_size`` > 1 collapses the readers
+    of each cache into weighted cohorts of (up to) that many identical
+    clients: one ``cohort-<cache>-<j>`` browser per group, recorded in
+    :attr:`Deployment.cohorts`, whose reads carry the group's weight
+    (see :mod:`repro.workload.cohort`).  The default of 1 binds every
+    reader individually, exactly as before.
 
     ``backend`` selects the substrate: ``"sim"`` assembles the system on
     the deterministic simulator, ``"live"`` on the wall-clock runtime
@@ -178,8 +228,10 @@ def build_tree(
     bound here: fault scenarios set them so reads into a crashed store
     fail fast (and count as unavailable) instead of stalling the client.
     """
+    if cohort_size < 1:
+        raise ValueError(f"cohort_size must be >= 1, got {cohort_size!r}")
     backend_obj = _resolve_backend(backend, seed, latency, live_latency,
-                                   loss_rate)
+                                   loss_rate, scheduler=scheduler)
     clock, transport = backend_obj.clock, backend_obj.transport
     site = WebObject(
         clock,
@@ -210,9 +262,24 @@ def build_tree(
         request_timeout=request_timeout,
         request_retries=request_retries,
     )
+    cohorts: Dict[str, int] = {}
+    cohort_spec: Dict[str, Dict[str, Any]] = {}
     for index, cache in enumerate(caches):
-        for reader in range(n_readers_per_cache):
-            client_id = f"reader-{index}-{reader}"
+        if cohort_size <= 1:
+            for reader in range(n_readers_per_cache):
+                client_id = f"reader-{index}-{reader}"
+                browsers[client_id] = site.bind_browser(
+                    f"space-{client_id}",
+                    client_id,
+                    read_store=cache.address,
+                    guarantees=reader_guarantees,
+                    request_timeout=request_timeout,
+                    request_retries=request_retries,
+                )
+            continue
+        groups = cohort_sizes(n_readers_per_cache, cohort_size)
+        for group, weight in enumerate(groups):
+            client_id = f"cohort-{index}-{group}"
             browsers[client_id] = site.bind_browser(
                 f"space-{client_id}",
                 client_id,
@@ -221,6 +288,13 @@ def build_tree(
                 request_timeout=request_timeout,
                 request_retries=request_retries,
             )
+            cohorts[client_id] = weight
+            cohort_spec[client_id] = {
+                "read_store": cache.address,
+                "guarantees": reader_guarantees,
+                "request_timeout": request_timeout,
+                "request_retries": request_retries,
+            }
     # Start executing protocol events only once the whole tree is wired,
     # so live deployments assemble without racing their own traffic.
     if start_backend:
@@ -234,6 +308,8 @@ def build_tree(
         caches=caches,
         browsers=browsers,
         backend=backend_obj,
+        cohorts=cohorts,
+        cohort_spec=cohort_spec,
     )
 
 

@@ -7,7 +7,7 @@ def test_all_experiment_ids_registered():
     assert set(RUNNERS) == {
         "t1", "t2", "f1", "f2", "f3", "f4",
         "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10",
-        "x11", "x12",
+        "x11", "x12", "x13",
     }
 
 

@@ -1,0 +1,109 @@
+"""Unit tests for the pluggable event queues."""
+
+import pytest
+
+from repro.sim.events import Event
+from repro.sim.queues import (
+    SCHEDULERS,
+    CalendarEventQueue,
+    HeapEventQueue,
+    make_event_queue,
+)
+
+
+def event(time, seq):
+    return Event(time=time, seq=seq, fn=lambda: None)
+
+
+@pytest.fixture(params=sorted(SCHEDULERS))
+def queue(request):
+    return make_event_queue(request.param)
+
+
+class TestQueueContract:
+    def test_empty_queue_peeks_and_pops_none(self, queue):
+        assert len(queue) == 0
+        assert queue.peek() is None
+        assert queue.pop() is None
+
+    def test_pops_in_time_order(self, queue):
+        for seq, time in enumerate([5.0, 1.0, 3.0, 0.5, 4.0]):
+            queue.push(event(time, seq))
+        times = [queue.pop().time for _ in range(5)]
+        assert times == sorted(times)
+
+    def test_simultaneous_events_pop_in_seq_order(self, queue):
+        for seq in (2, 0, 1):
+            queue.push(event(1.0, seq))
+        assert [queue.pop().seq for _ in range(3)] == [0, 1, 2]
+
+    def test_peek_returns_minimum_without_removal(self, queue):
+        queue.push(event(2.0, 0))
+        queue.push(event(1.0, 1))
+        assert queue.peek().time == 1.0
+        assert len(queue) == 2
+        assert queue.pop().time == 1.0
+
+    def test_peek_sees_smaller_event_pushed_after_peek(self, queue):
+        queue.push(event(5.0, 0))
+        assert queue.peek().time == 5.0
+        queue.push(event(1.0, 1))
+        assert queue.peek().time == 1.0
+
+    def test_interleaved_push_pop_keeps_global_order(self, queue):
+        queue.push(event(3.0, 0))
+        queue.push(event(1.0, 1))
+        first = queue.pop()
+        assert first.time == 1.0
+        # New events strictly after the last popped time, as the kernel
+        # clock guarantees.
+        queue.push(event(2.0, 2))
+        queue.push(event(10.0, 3))
+        assert [queue.pop().time for _ in range(3)] == [2.0, 3.0, 10.0]
+
+
+class TestCalendarQueue:
+    def test_grows_and_shrinks_with_population(self):
+        queue = CalendarEventQueue()
+        for seq in range(200):
+            queue.push(event(seq * 0.013, seq))
+        assert queue._nbuckets > CalendarEventQueue.MIN_BUCKETS
+        order = [queue.pop().seq for _ in range(200)]
+        assert order == list(range(200))
+        assert queue._nbuckets == CalendarEventQueue.MIN_BUCKETS
+
+    def test_sparse_far_future_uses_direct_search(self):
+        queue = CalendarEventQueue(width=0.01, nbuckets=8)
+        # One event years of bucket-days away: the forward scan gives up
+        # after a rotation and jumps straight to it.
+        queue.push(event(1_000.0, 0))
+        assert queue.peek().time == 1_000.0
+        assert queue.pop().time == 1_000.0
+
+    def test_earlier_push_after_future_pop_stays_ordered(self):
+        # Popping a far-future minimum advances the calendar day; a later
+        # push at an earlier absolute time must still pop first (the
+        # ``_day`` lower-bound invariant).
+        queue = CalendarEventQueue(width=0.01)
+        queue.push(event(100.0, 0))
+        popped = queue.pop()
+        assert popped.time == 100.0
+        queue.push(event(150.0, 1))
+        queue.push(event(120.0, 2))
+        assert [queue.pop().time for _ in range(2)] == [120.0, 150.0]
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CalendarEventQueue(width=0.0)
+        with pytest.raises(ValueError):
+            CalendarEventQueue(nbuckets=0)
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_event_queue("heap"), HeapEventQueue)
+        assert isinstance(make_event_queue("calendar"), CalendarEventQueue)
+
+    def test_unknown_name_lists_catalog(self):
+        with pytest.raises(ValueError, match="calendar.*heap|heap.*calendar"):
+            make_event_queue("wheel-of-fortune")
