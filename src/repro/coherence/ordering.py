@@ -14,7 +14,7 @@ object-based models weaker than causal (design decision D2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.coherence.models import CoherenceModel
 from repro.coherence.records import WriteRecord
@@ -77,6 +77,33 @@ class OrderingDiscipline:
             if not version.includes(wid)
         }
         self.seen = {wid for wid in self.seen if not version.includes(wid)}
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Plain-data snapshot of the discipline (codec-encodable).
+
+        Subclasses with extra state extend the dict; the pair with
+        :meth:`load_state` lets a killed store node resume exactly where
+        its last checkpoint left it, which is what keeps restart-time
+        coherence signatures identical across backends.
+        """
+        return {
+            "applied": self.applied.as_dict(),
+            "seen": sorted(str(wid) for wid in self.seen),
+            "buffer": [self.buffer[wid].to_wire() for wid in sorted(self.buffer)],
+            "dropped": self.dropped,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`state_dict`."""
+        self.applied = VectorClock.from_dict(state["applied"])
+        self.seen = {WriteId.parse(text) for text in state["seen"]}
+        self.buffer = {
+            record.wid: record
+            for record in (WriteRecord.from_wire(w) for w in state["buffer"])
+        }
+        self.dropped = state["dropped"]
 
     # -- hooks ----------------------------------------------------------------
 
@@ -190,6 +217,15 @@ class SequentialOrdering(OrderingDiscipline):
         if next_global is not None:
             self.next_global = next_global
 
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["next_global"] = self.next_global
+        return state
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        super().load_state(state)
+        self.next_global = state["next_global"]
+
 
 class EventualOrdering(OrderingDiscipline):
     """Eventual: apply whatever arrives; optional per-key last-writer-wins.
@@ -234,6 +270,23 @@ class EventualOrdering(OrderingDiscipline):
         for key in record.touched:
             if key not in self._key_latest or self._key_latest[key] < stamp:
                 self._key_latest[key] = stamp
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["key_latest"] = {
+            key: [stamp[0], str(stamp[1])]
+            for key, stamp in self._key_latest.items()
+        }
+        state["floor"] = self._floor.as_dict()
+        return state
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        super().load_state(state)
+        self._key_latest = {
+            key: (timestamp, WriteId.parse(text))
+            for key, (timestamp, text) in state["key_latest"].items()
+        }
+        self._floor = VectorClock.from_dict(state["floor"])
 
 
 def make_ordering(model: CoherenceModel) -> OrderingDiscipline:

@@ -10,7 +10,7 @@ name service, and implements :meth:`DistributedSharedObject.bind`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.coherence.models import SessionGuarantee
 from repro.coherence.trace import TraceRecorder
@@ -96,6 +96,11 @@ class DistributedSharedObject:
         Under a single write set, the only client allowed to write.
     reliable_transport:
         ``False`` switches every local object to the UDP-like transport.
+    store_factory:
+        Optional hook ``factory(dso, address, role, parent) -> Store``
+        that builds stores in another address space (the socket backend
+        spawns a node process and returns an RPC-proxied Store); when
+        ``None``, stores are assembled in-process as always.
     """
 
     def __init__(
@@ -109,6 +114,7 @@ class DistributedSharedObject:
         name_service: Optional[NameService] = None,
         designated_writer: Optional[str] = None,
         reliable_transport: bool = True,
+        store_factory: Optional[Callable] = None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -119,6 +125,7 @@ class DistributedSharedObject:
         self.names = name_service if name_service is not None else NameService()
         self.designated_writer = designated_writer
         self.reliable_transport = reliable_transport
+        self.store_factory = store_factory
         self.stores: Dict[str, Store] = {}
         self.clients: List[BoundClient] = []
         self.primary: Optional[Store] = None
@@ -155,28 +162,31 @@ class DistributedSharedObject:
     def _make_store(self, address: str, role: Role, parent: Optional[str]) -> Store:
         if address in self.stores:
             raise BindError(f"address {address} already hosts a store")
-        if role is Role.PERMANENT and self.primary is None:
-            semantics = self.semantics_prototype
+        if self.store_factory is not None:
+            store = self.store_factory(self, address, role, parent)
         else:
-            semantics = self.semantics_prototype.fresh()
-        engine = StoreReplicationObject(
-            policy=self.policy,
-            role=role,
-            parent=parent,
-            trace=self.trace,
-            allowed_writer=self.designated_writer,
-        )
-        local = LocalObject(
-            sim=self.sim,
-            network=self.network,
-            address=address,
-            role=role,
-            replication=engine,
-            semantics=semantics,
-            reliable_transport=self.reliable_transport,
-        )
-        local.start()
-        store = Store(local=local, engine=engine)
+            if role is Role.PERMANENT and self.primary is None:
+                semantics = self.semantics_prototype
+            else:
+                semantics = self.semantics_prototype.fresh()
+            engine = StoreReplicationObject(
+                policy=self.policy,
+                role=role,
+                parent=parent,
+                trace=self.trace,
+                allowed_writer=self.designated_writer,
+            )
+            local = LocalObject(
+                sim=self.sim,
+                network=self.network,
+                address=address,
+                role=role,
+                replication=engine,
+                semantics=semantics,
+                reliable_transport=self.reliable_transport,
+            )
+            local.start()
+            store = Store(local=local, engine=engine)
         self.stores[address] = store
         if parent is not None and parent in self.stores:
             self.stores[parent].engine.subscribe_child(address)

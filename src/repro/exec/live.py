@@ -4,10 +4,11 @@ A :class:`~repro.exec.spec.SweepSpec` whose point function is
 :func:`live_smoke_point` drives short *real-time* multi-node deployments
 through the exact same runner and on-disk cache as the simulated sweeps:
 each point assembles the Fig. 2 tree on the requested backend
-(``"live"`` wall-clock threads, or ``"sim"`` for the paired control run),
-executes a synchronous scripted workload -- write, wait for convergence,
-read everywhere -- and returns a plain-data summary including the
-time-free :func:`~repro.coherence.trace.coherence_signature`.
+(``"live"`` wall-clock threads, ``"live-socket"`` one OS process per
+store, or ``"sim"`` for the paired control run), executes a synchronous
+scripted workload -- write, wait for convergence, read everywhere -- and
+returns a plain-data summary including the time-free
+:func:`~repro.coherence.trace.coherence_signature`.
 
 Because the script is synchronous and convergence-gated, the signature is
 deterministic even in wall-clock time; comparing it across the sim and

@@ -1,11 +1,11 @@
-"""Experiment X9: one protocol stack, two substrates, same behaviour.
+"""Experiment X9: one protocol stack, three substrates, same behaviour.
 
-Runs the identical scripted smoke scenario on the deterministic simulator
-and on the wall-clock runtime through the sweep runner
-(:mod:`repro.exec.live`), then compares the time-free coherence
-signatures.  This is the paper's portability claim made operational: the
-replication strategy is a property of the object, not of the runtime it
-happens to execute on.
+Runs the identical scripted smoke scenario on the deterministic
+simulator, on the wall-clock thread runtime, and on the multi-process
+socket runtime through the sweep runner (:mod:`repro.exec.live`), then
+compares the time-free coherence signatures.  This is the paper's
+portability claim made operational: the replication strategy is a
+property of the object, not of the runtime it happens to execute on.
 """
 
 from __future__ import annotations
@@ -24,11 +24,11 @@ def run_backend_smoke(
     cache_dir: Optional[str] = None,
     executor: Optional[str] = None,
 ) -> ExperimentResult:
-    """X9: sim/live backend parity smoke (runs ~1s of wall-clock time)."""
+    """X9: sim/live/live-socket backend parity smoke (~2s wall-clock)."""
     measured = run_live_smoke(
-        backends=("sim", "live"), writes=writes, n_caches=n_caches,
-        seed=seed, parallel=parallel, cache_dir=cache_dir,
-        executor=executor,
+        backends=("sim", "live", "live-socket"), writes=writes,
+        n_caches=n_caches, seed=seed, parallel=parallel,
+        cache_dir=cache_dir, executor=executor,
     )
     result = ExperimentResult(
         name="X9: Backend parity -- the same stack in virtual and wall-clock "
@@ -51,8 +51,9 @@ def run_backend_smoke(
         point["signature"] == reference for point in measured.values()
     )
     result.note(
-        "Both rows ran the identical Deployment scenario; the signature "
+        "All rows ran the identical Deployment scenario; the signature "
         "column compares per-store apply/install sequences and per-client "
-        "read/write observations with all timestamps stripped."
+        "read/write observations with all timestamps stripped.  The "
+        "live-socket row runs every store in its own OS process."
     )
     return result

@@ -7,9 +7,10 @@ per-metric tables and heat maps are rendered by
 
 X12 is the live-backend fault soak smoke: the scripted
 partition/heal/crash/restart scenario of :mod:`repro.faults.scenario`
-executed on both substrates, comparing time-free coherence signatures --
-the fault-layer analog of X9's portability claim.  The CI job wraps it
-in a wall-clock timeout so a hung heal fails fast.
+executed on all three substrates (sim, live threads, live sockets --
+where the crash is a real SIGKILL), comparing time-free coherence
+signatures -- the fault-layer analog of X9's portability claim.  The CI
+job wraps it in a wall-clock timeout so a hung heal fails fast.
 """
 
 from __future__ import annotations
@@ -78,16 +79,18 @@ def run_fault_soak(
     cache_dir: Optional[str] = None,
     executor: Optional[str] = None,
 ) -> ExperimentResult:
-    """X12: fault soak smoke -- one fault plan, two substrates, same behaviour.
+    """X12: fault soak smoke -- one fault plan, three substrates, same behaviour.
 
     Runs the scripted partition/heal/crash/restart scenario on the
-    deterministic simulator and on the wall-clock runtime (about one
-    second of real time) through the sweep runner, then compares the
-    time-free coherence signatures.
+    deterministic simulator, on the wall-clock thread runtime, and on
+    the multi-process socket runtime (where CrashNode SIGKILLs a real
+    node process and RestartNode re-spawns it from its checkpoint)
+    through the sweep runner, then compares the time-free coherence
+    signatures.
     """
     measured = execute_fault_soak(
-        backends=("sim", "live"), seed=seed, parallel=parallel,
-        cache_dir=cache_dir, executor=executor,
+        backends=("sim", "live", "live-socket"), seed=seed,
+        parallel=parallel, cache_dir=cache_dir, executor=executor,
     )
     result = ExperimentResult(
         name="X12: Fault soak smoke -- the same fault plan in virtual and "

@@ -1,8 +1,10 @@
-"""The scripted fault-parity scenario: one plan, two substrates (X12).
+"""The scripted fault-parity scenario: one plan, three substrates (X12).
 
 :func:`fault_smoke_point` drives the acceptance scenario of the fault
 layer -- partition a cache subtree, heal it, crash a cache, restart it --
-over a short scripted workload on either backend, through the same
+over a short scripted workload on any backend (``"sim"``, ``"live"``, or
+``"live-socket"``, where CrashNode SIGKILLs the store's OS process and
+RestartNode re-spawns it from its checkpoint), through the same
 runner/cache as every other sweep.  The plan is applied with the
 injector's *stepped* mode at convergence barriers, so faults interleave
 with the workload identically in virtual and wall-clock time and the

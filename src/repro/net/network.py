@@ -57,6 +57,10 @@ class NetworkStats:
     datagrams_dropped_unregistered: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
+    #: Wire frames the socket backend's hub wrote to / read from node
+    #: channels (data + control); zero on the in-process transports.
+    frames_sent: int = 0
+    frames_received: int = 0
 
     def bind(self, registry: MetricsRegistry,
              prefix: str = "net") -> "NetworkStats":

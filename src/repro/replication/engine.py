@@ -315,6 +315,59 @@ class StoreReplicationObject(ReplicationObject):
     def _install_snapshot(self, body: Dict[str, Any]) -> None:
         self.reads.install_snapshot(body)
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Plain-data snapshot of the durable replica state (codec-safe).
+
+        Captures everything a re-spawned store process needs to resume as
+        the same replica: ordering-discipline state, the catch-up log and
+        its base vector, per-key freshness, invalidations, staleness
+        awareness, write-path sequence counters and any lazily pending
+        propagation.  Transient coordination state (in-flight acks,
+        waiting reads, demand futures) is deliberately NOT captured -- a
+        crash drops it on every backend, which is exactly the
+        ``FaultableTransportMixin`` in-flight semantics.
+        """
+        return {
+            "ordering": self.ordering.state_dict(),
+            "log": [record.to_wire() for record in self.log],
+            "log_base": self.log_base.as_dict(),
+            "as_of": {key: vc.as_dict() for key, vc in self.as_of.items()},
+            "invalid_keys": sorted(self.invalid_keys),
+            "known_remote": self.known_remote.as_dict(),
+            "counters": dict(self.counters),
+            "has_full_state": self.has_full_state,
+            "children": list(self.children),
+            "allowed_writer": self.allowed_writer,
+            "local_seqnos": dict(self.writes.local_seqnos),
+            "write_next_global": self.writes.next_global,
+            "pending_lazy": [
+                record.to_wire() for record in self.propagation.pending_lazy
+            ],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Inverse of :meth:`checkpoint`; call before :meth:`start`."""
+        self.ordering.load_state(state["ordering"])
+        self.log = [WriteRecord.from_wire(w) for w in state["log"]]
+        self.log_base = VectorClock.from_dict(state["log_base"])
+        self.as_of = {
+            key: VectorClock.from_dict(vc)
+            for key, vc in state["as_of"].items()
+        }
+        self.invalid_keys = set(state["invalid_keys"])
+        self.known_remote = VectorClock.from_dict(state["known_remote"])
+        self.counters = collections.Counter(state["counters"])
+        self.has_full_state = state["has_full_state"]
+        self.children = list(state["children"])
+        self.allowed_writer = state["allowed_writer"]
+        self.writes.local_seqnos = dict(state["local_seqnos"])
+        self.writes.next_global = state["write_next_global"]
+        self.propagation.pending_lazy = [
+            WriteRecord.from_wire(w) for w in state["pending_lazy"]
+        ]
+
     # -- introspection ---------------------------------------------------------
 
     def version(self) -> Dict[str, int]:

@@ -1,17 +1,34 @@
-"""Live (wall-clock, threaded) runtime (S16).
+"""Live runtimes: wall-clock threads (S16) and multi-process sockets.
 
-The same protocol code that runs on the deterministic simulator can run on
-real threads and real time: :class:`LiveLoop` implements the
+The same protocol code that runs on the deterministic simulator can run
+on real threads and real time: :class:`LiveLoop` implements the
 :class:`~repro.sim.kernel.Simulator` scheduling interface against a
 wall-clock timer thread, and :class:`LiveNetwork` implements the
 :class:`~repro.net.network.Network` delivery interface over in-process
 queues with optional injected latency.
 
-This is the moral equivalent of the paper's Java-over-TCP prototype for
-running the examples "live"; all quantitative experiments stay on the
-simulator for determinism.
+The socket runtime takes the next step to real *processes*: every store
+node runs in its own OS process (:mod:`repro.runtime.node`), frames ride
+the :mod:`repro.exec.codec` binary codec over Unix/TCP sockets
+(:mod:`repro.runtime.wire`), a heartbeat :class:`Registry` provides
+naming and liveness, and the hub (:mod:`repro.runtime.socket`) routes
+all traffic through one fault-controllable network.  This is the paper's
+Java-over-TCP prototype shape for real: CrashNode SIGKILLs a process,
+RestartNode re-spawns it from a checkpoint.
 """
 
 from repro.runtime.live import LiveLoop, LiveNetwork
+from repro.runtime.registry import NodeEntry, Registry
+from repro.runtime.supervisor import NodeSupervisor
+from repro.runtime.wire import FrameChannel, WireError, connect_with_backoff
 
-__all__ = ["LiveLoop", "LiveNetwork"]
+__all__ = [
+    "FrameChannel",
+    "LiveLoop",
+    "LiveNetwork",
+    "NodeEntry",
+    "NodeSupervisor",
+    "Registry",
+    "WireError",
+    "connect_with_backoff",
+]

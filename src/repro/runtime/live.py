@@ -113,13 +113,30 @@ class LiveLoop:
         self._thread.start()
 
     def stop(self, timeout: float = 2.0) -> None:
-        """Stop the dispatcher and join its thread."""
+        """Stop the dispatcher and join its thread.
+
+        ``timeout`` bounds the wait for an *idle* dispatcher only.  A
+        dispatcher that is mid-callback is joined until the callback
+        returns (the loop exits immediately afterwards, since
+        ``_running`` is already false): abandoning a busy dispatcher
+        would leave it mutating protocol state behind a caller that
+        believes the runtime is quiescent.
+        """
         with self._wakeup:
             self._running = False
             self._wakeup.notify()
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
-            self._thread = None
+        thread = self._thread
+        if thread is None:
+            return
+        thread.join(timeout=timeout)
+        while thread.is_alive():
+            with self._lock:
+                busy = self._busy
+            if not busy:
+                thread.join(timeout=timeout)
+                break
+            thread.join(timeout=0.05)
+        self._thread = None
 
     def _dispatch(self) -> None:
         while True:

@@ -1,0 +1,306 @@
+"""Store-node process entry point: ``python -m repro.runtime.node``.
+
+One store of a distributed shared object, running in its own OS process.
+The node connects back to its hub (retrying with backoff, so spawn order
+never matters), assembles the exact same ``LocalObject`` composition the
+in-process backends build -- a :class:`~repro.runtime.live.LiveLoop`
+dispatcher, the replication engine, a :class:`WebDocument` semantics
+object -- and bridges its transport over one framed socket:
+
+- outgoing datagrams become ``data`` frames; the hub routes them through
+  its :class:`~repro.runtime.live.LiveNetwork` send path, so latency,
+  loss, partitions and every stats counter are applied in exactly one
+  place;
+- incoming ``data`` frames are submitted to the local dispatcher, which
+  is the node's single protocol thread (same threading discipline as the
+  live-thread backend);
+- trace events are streamed to the hub *eagerly* (a ``trace`` frame per
+  event, written before any datagram the same callback sends), so the
+  recorded history is complete even when the process is SIGKILLed the
+  next instant;
+- after every handled frame the node atomically checkpoints its replica
+  state, which is what lets a re-spawned process resume as the same
+  replica (``--restore``) with semantics matching the in-memory backends,
+  where a crashed node's engine state survives in the hub process.
+
+A heartbeat thread beats the hub's registry every ``heartbeat_interval``
+seconds; the main thread is the frame reader and exits on ``bye`` or hub
+EOF.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.coherence.trace import TraceEvent, TraceRecorder
+from repro.core.interfaces import Role
+from repro.core.local_object import LocalObject
+from repro.exec.codec import decode_result, encode_result
+from repro.replication.engine import StoreReplicationObject
+from repro.runtime.live import LiveLoop
+from repro.runtime.wire import (
+    FrameChannel,
+    WireError,
+    connect_with_backoff,
+    parse_address,
+)
+from repro.web.document import WebDocument
+
+
+class NodeTransport:
+    """The node-side :class:`~repro.transport.interface.Transport`.
+
+    Exactly one address (this store) registers locally; every outgoing
+    datagram is framed to the hub, which owns routing, fault gating and
+    statistics.  Incoming datagrams are injected by the node runtime via
+    :meth:`deliver` on the dispatcher thread.
+    """
+
+    def __init__(self, channel: FrameChannel) -> None:
+        self.channel = channel
+        self._handlers: Dict[str, Any] = {}
+
+    def register(self, node: str, handler: Any) -> None:
+        """Attach the local store's receive handler."""
+        self._handlers[node] = handler
+
+    def unregister(self, node: str) -> None:
+        """Detach the local store."""
+        self._handlers.pop(node, None)
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        payload: object,
+        size_bytes: int = 0,
+        reliable: bool = True,
+    ) -> None:
+        """Frame one datagram to the hub for routing."""
+        self.channel.send(
+            "data",
+            src=src,
+            dst=dst,
+            payload=payload,
+            size=int(size_bytes),
+            reliable=bool(reliable),
+        )
+
+    def multicast(
+        self,
+        src: str,
+        dsts: Any,
+        payload: object,
+        size_bytes: int = 0,
+        reliable: bool = True,
+    ) -> None:
+        """Send the same payload to every destination (skipping ``src``)."""
+        for dst in dsts:
+            if dst != src:
+                self.send(src, dst, payload, size_bytes=size_bytes,
+                          reliable=reliable)
+
+    def deliver(self, dst: str, src: str, payload: object,
+                size_bytes: int) -> None:
+        """Hand an incoming datagram to the registered handler, if any."""
+        handler = self._handlers.get(dst)
+        if handler is not None:
+            handler(src, payload, size_bytes)
+
+
+class _ForwardingList(List[TraceEvent]):
+    """A trace-event list whose appends also stream to the hub."""
+
+    def __init__(self, channel: FrameChannel) -> None:
+        super().__init__()
+        self._channel = channel
+
+    def append(self, event: TraceEvent) -> None:
+        super().append(event)
+        self._channel.send("trace", event=event)
+
+
+class ForwardingTraceRecorder(TraceRecorder):
+    """A recorder that forwards every event to the hub as it is recorded.
+
+    Events are framed on the same socket, from the same dispatcher
+    thread, *before* any datagram the recording callback sends next --
+    so the hub appends them to its shared recorder in the exact per-lane
+    order the in-process backends would produce.
+    """
+
+    def __init__(self, channel: FrameChannel) -> None:
+        super().__init__()
+        self.events = _ForwardingList(channel)
+
+
+class NodeRuntime:
+    """Everything one store-node process runs: loop, store, wire bridge."""
+
+    def __init__(
+        self,
+        name: str,
+        channel: FrameChannel,
+        spec: Dict[str, Any],
+        restore_path: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.channel = channel
+        self.spec = spec
+        self.loop = LiveLoop(seed=spec["seed"])
+        self.transport = NodeTransport(channel)
+        self.trace = ForwardingTraceRecorder(channel)
+        self.checkpoint_path = spec.get("checkpoint_path")
+        document = WebDocument(clock=lambda: self.loop.now)
+        if spec.get("semantics_state") is not None:
+            document.restore(spec["semantics_state"])
+        self.engine = StoreReplicationObject(
+            policy=spec["policy"],
+            role=Role(spec["role"]),
+            parent=spec.get("parent"),
+            trace=self.trace,
+            allowed_writer=spec.get("allowed_writer"),
+        )
+        self.local = LocalObject(
+            sim=self.loop,
+            network=self.transport,
+            address=spec["address"],
+            role=Role(spec["role"]),
+            replication=self.engine,
+            semantics=document,
+            reliable_transport=spec.get("reliable_transport", True),
+        )
+        if restore_path and os.path.exists(restore_path):
+            checkpoint = decode_result(open(restore_path, "rb").read())
+            self.engine.restore(checkpoint["engine"])
+            self.local.control.semantics_restore(
+                checkpoint["state"], partial=False
+            )
+        self._stop_heartbeat = threading.Event()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _checkpoint(self) -> None:
+        """Atomically persist the replica state (dispatcher thread only)."""
+        if not self.checkpoint_path:
+            return
+        blob = encode_result({
+            "engine": self.engine.checkpoint(),
+            "state": self.engine.snapshot_state(),
+        })
+        tmp = self.checkpoint_path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp, self.checkpoint_path)
+
+    # -- frame handlers (run on the dispatcher thread) -----------------------
+
+    def _handle_data(self, body: Dict[str, Any]) -> None:
+        self.transport.deliver(
+            body["dst"], body["src"], body["payload"], body["size"]
+        )
+        self._checkpoint()
+
+    def _handle_call(self, body: Dict[str, Any]) -> None:
+        call_id = body["call_id"]
+        op = body["op"]
+        kwargs = body.get("kwargs") or {}
+        try:
+            if op == "version":
+                result: Any = self.engine.version()
+            elif op == "snapshot_state":
+                result = self.engine.snapshot_state()
+            elif op == "subscribe_child":
+                self.engine.subscribe_child(kwargs["address"])
+                result = None
+            elif op == "demand":
+                self.engine.reads.demand(
+                    keys=kwargs.get("keys"),
+                    want_full=kwargs.get("want_full", False),
+                )
+                result = None
+            elif op == "counters":
+                result = dict(self.engine.counters)
+            elif op == "ping":
+                result = "pong"
+            else:
+                raise ValueError(f"unknown node op {op!r}")
+        except BaseException as exc:
+            self._checkpoint()
+            self.channel.send("reply", call_id=call_id, error=repr(exc))
+            return
+        self._checkpoint()
+        self.channel.send("reply", call_id=call_id, result=result)
+
+    # -- threads -------------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        interval = self.spec.get("heartbeat_interval", 0.25)
+        while not self._stop_heartbeat.wait(interval):
+            try:
+                self.channel.send("heartbeat", node=self.name)
+            except WireError:
+                return
+
+    def run(self) -> int:
+        """Start the store and serve frames until ``bye``/EOF."""
+        self.loop.start()
+        self.local.start()
+        self._checkpoint()
+        self.channel.send("hello", node=self.name, pid=os.getpid())
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"repro-node-beat-{self.name}",
+            daemon=True,
+        )
+        beat.start()
+        try:
+            while True:
+                frame = self.channel.recv()
+                if frame is None:
+                    break
+                kind, body = frame
+                if kind == "data":
+                    self.loop.submit(self._handle_data, body)
+                elif kind == "call":
+                    self.loop.submit(self._handle_call, body)
+                elif kind == "bye":
+                    break
+                # "welcome" and unknown frames are ignored.
+        finally:
+            self._stop_heartbeat.set()
+            try:
+                self.local.destroy()
+            except Exception:
+                pass
+            self.loop.stop()
+            self.channel.close()
+        return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments, connect to the hub, and run the store node."""
+    parser = argparse.ArgumentParser(prog="repro.runtime.node")
+    parser.add_argument("--hub", required=True,
+                        help="hub address (unix:<path> or tcp:<host>:<port>)")
+    parser.add_argument("--node", required=True, help="this store's name")
+    parser.add_argument("--spec", required=True,
+                        help="path to the codec-encoded node spec")
+    parser.add_argument("--restore", default=None,
+                        help="checkpoint file to resume the replica from")
+    args = parser.parse_args(argv)
+    spec = decode_result(open(args.spec, "rb").read())
+    sock = connect_with_backoff(parse_address(args.hub))
+    channel = FrameChannel(sock)
+    runtime = NodeRuntime(
+        args.node, channel, spec, restore_path=args.restore
+    )
+    return runtime.run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Naming and heartbeat-based liveness for socket store nodes.
+
+The hub embeds one :class:`Registry` (an in-process registry daemon in
+the service-discovery sense): nodes announce themselves once with a
+``hello`` frame (:meth:`Registry.register`), then keep themselves alive
+with periodic ``heartbeat`` frames (:meth:`Registry.beat`).  A node that
+misses beats for longer than the TTL is considered dead and is swept by
+:meth:`Registry.expire` — which is exactly how the hub notices a
+SIGKILL'd process without waiting on a socket timeout.
+
+Time is injected as plain ``float`` seconds on every mutating call so
+tests can drive expiry deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class NodeEntry:
+    """One registered node: identity plus liveness bookkeeping."""
+
+    name: str
+    pid: int
+    conn: Any = None
+    registered_at: float = 0.0
+    last_beat: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class Registry:
+    """Thread-safe name -> :class:`NodeEntry` map with TTL liveness.
+
+    ``ttl`` is the beat-silence budget: a node whose ``last_beat`` is
+    older than ``now - ttl`` reports dead via :meth:`alive` and is
+    removed by :meth:`expire`.
+    """
+
+    def __init__(self, ttl: float = 1.0) -> None:
+        self.ttl = ttl
+        self._entries: Dict[str, NodeEntry] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        name: str,
+        pid: int,
+        conn: Any = None,
+        now: float = 0.0,
+        **meta: Any,
+    ) -> NodeEntry:
+        """Insert (or replace, e.g. after a restart) the entry for ``name``."""
+        entry = NodeEntry(
+            name=name,
+            pid=pid,
+            conn=conn,
+            registered_at=now,
+            last_beat=now,
+            meta=dict(meta),
+        )
+        with self._lock:
+            self._entries[name] = entry
+        return entry
+
+    def deregister(self, name: str) -> Optional[NodeEntry]:
+        """Drop ``name``; returns the removed entry, if any."""
+        with self._lock:
+            return self._entries.pop(name, None)
+
+    def lookup(self, name: str) -> Optional[NodeEntry]:
+        """Resolve ``name`` without touching liveness."""
+        with self._lock:
+            return self._entries.get(name)
+
+    def beat(self, name: str, now: float) -> bool:
+        """Record a heartbeat; ``False`` if the node is not registered."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                return False
+            entry.last_beat = now
+            return True
+
+    def alive(self, name: str, now: float) -> bool:
+        """Is ``name`` registered with a beat newer than ``now - ttl``?"""
+        with self._lock:
+            entry = self._entries.get(name)
+            return entry is not None and now - entry.last_beat <= self.ttl
+
+    def expire(self, now: float) -> List[str]:
+        """Sweep and return names whose beats have gone stale."""
+        with self._lock:
+            dead = [
+                name
+                for name, entry in self._entries.items()
+                if now - entry.last_beat > self.ttl
+            ]
+            for name in dead:
+                del self._entries[name]
+        return dead
+
+    def names(self) -> List[str]:
+        """Currently registered names, sorted for stable output."""
+        with self._lock:
+            return sorted(self._entries)

@@ -1,0 +1,481 @@
+"""Hub side of the socket runtime: routing, registry, fault teeth.
+
+The ``live-socket`` backend keeps the *driving* half of a deployment --
+the dispatcher loop, every client address space, the shared trace
+recorder and the fault-control surface -- in the parent process (the
+"hub"), while every store runs in its own OS process
+(:mod:`repro.runtime.node`).  One frame socket connects each node back
+here.
+
+Design rule: **every datagram crosses the hub's network send path
+exactly once.**  Client traffic originates on the hub dispatcher and
+enters :meth:`SocketNetwork.send` directly; node-originated traffic
+arrives as ``data`` frames and is re-submitted onto the dispatcher into
+the same method.  Latency, partitions, crash gating and every
+``NetworkStats`` counter therefore behave identically to the
+in-process backends -- which is what makes the cross-backend coherence
+signatures comparable at all.
+
+Fault teeth: :meth:`SocketNetwork.crash_node` first applies the shared
+:class:`~repro.faults.transport.FaultableTransportMixin` semantics
+(queued/in-flight drops, counters), then SIGKILLs the node's real
+process; :meth:`SocketNetwork.restart_node` re-spawns it with
+``--restore`` so the replica resumes from its last checkpoint, then
+lifts the crash mark.  Liveness is tracked by a heartbeat
+:class:`~repro.runtime.registry.Registry`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import os
+import shutil
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.coherence.trace import TraceRecorder
+from repro.core.interfaces import Role
+from repro.obs import tracer as _obs
+from repro.runtime.live import LiveLoop, LiveNetwork
+from repro.runtime.registry import Registry
+from repro.runtime.supervisor import NodeSupervisor
+from repro.runtime.wire import FrameChannel, WireError, listen
+
+
+class SocketRuntimeError(RuntimeError):
+    """A node could not be spawned, reached, or called."""
+
+
+class SocketHub:
+    """Accepts node connections; routes frames, calls, and lifecycle.
+
+    One hub per deployment.  Threads: one accept thread, one serve
+    thread per node connection, one liveness sweeper.  The serve thread
+    is the only reader of its channel; hub-to-node sends may come from
+    any thread (the channel's send lock serializes them).
+    """
+
+    def __init__(
+        self,
+        run_dir: Optional[str] = None,
+        call_timeout: float = 10.0,
+        heartbeat_ttl: float = 2.0,
+        heartbeat_interval: float = 0.25,
+        node_boot_timeout: float = 10.0,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.run_dir = run_dir or tempfile.mkdtemp(prefix="repro-hub-")
+        self._owns_run_dir = run_dir is None
+        self.address = os.path.join(self.run_dir, "hub.sock")
+        self.call_timeout = call_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.node_boot_timeout = node_boot_timeout
+        self.trace = trace
+        self.registry = Registry(ttl=heartbeat_ttl)
+        self.supervisor = NodeSupervisor(self.run_dir, self.address)
+        #: The deployment's :class:`SocketNetwork`; set by the backend
+        #: right after construction (the two reference each other).
+        self.network: Optional[SocketNetwork] = None
+        self._channels: Dict[str, FrameChannel] = {}
+        self._ready: Dict[str, threading.Event] = {}
+        self._calls: Dict[int, Dict[str, Any]] = {}
+        self._call_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._closing = False
+        self._listener = listen(self.address)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-hub-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._sweeper = threading.Thread(
+            target=self._sweep_loop, name="repro-hub-sweeper", daemon=True
+        )
+        self._sweeper.start()
+
+    # -- node lifecycle ------------------------------------------------------
+
+    def spawn_node(self, name: str, spec: Dict[str, Any]) -> None:
+        """Write ``spec`` and launch the node; blocks until it registers."""
+        spec = dict(spec)
+        spec.setdefault("checkpoint_path",
+                        self.supervisor.checkpoint_path(name))
+        spec.setdefault("heartbeat_interval", self.heartbeat_interval)
+        self.supervisor.write_spec(name, spec)
+        self._launch(name, restore=False)
+
+    def _launch(self, name: str, restore: bool) -> None:
+        with self._lock:
+            event = self._ready.setdefault(name, threading.Event())
+            event.clear()
+        self.supervisor.spawn(name, restore=restore)
+        if not event.wait(self.node_boot_timeout):
+            raise SocketRuntimeError(
+                f"node {name!r} did not register within "
+                f"{self.node_boot_timeout}s (see {self.supervisor.log_path(name)})"
+            )
+
+    def kill_node(self, name: str) -> int:
+        """SIGKILL the node's process; returns the dead PID."""
+        with self._lock:
+            channel = self._channels.pop(name, None)
+        pid = self.supervisor.kill(name)
+        self.registry.deregister(name)
+        if channel is not None:
+            channel.close()
+        return pid
+
+    def restart_node(self, name: str) -> None:
+        """Re-spawn a killed node from its checkpoint; blocks until up."""
+        self._launch(name, restore=True)
+
+    def node_pid(self, name: str) -> int:
+        """The node's current process id."""
+        return self.supervisor.pid(name)
+
+    def channel_for(self, name: str) -> Optional[FrameChannel]:
+        """The node's frame channel, or ``None`` when detached."""
+        return self._channels.get(name)
+
+    # -- node RPC ------------------------------------------------------------
+
+    def call(self, node: str, op: str, timeout: Optional[float] = None,
+             **kwargs: Any) -> Any:
+        """Run ``op(**kwargs)`` on the node's dispatcher; block for it.
+
+        Safe from any hub thread including the dispatcher: the reply is
+        resolved by the node's serve thread, never by dispatcher work.
+        """
+        channel = self._channels.get(node)
+        if channel is None:
+            raise SocketRuntimeError(f"node {node!r} is not connected")
+        call_id = next(self._call_ids)
+        slot: Dict[str, Any] = {"event": threading.Event()}
+        with self._lock:
+            self._calls[call_id] = slot
+        try:
+            self._send(channel, "call", call_id=call_id, op=op, kwargs=kwargs)
+        except WireError as exc:
+            with self._lock:
+                self._calls.pop(call_id, None)
+            raise SocketRuntimeError(f"node {node!r} went away: {exc}")
+        if not slot["event"].wait(timeout or self.call_timeout):
+            with self._lock:
+                self._calls.pop(call_id, None)
+            raise SocketRuntimeError(
+                f"call {op!r} to node {node!r} timed out"
+            )
+        if slot.get("error") is not None:
+            raise SocketRuntimeError(f"{node}.{op} failed: {slot['error']}")
+        return slot.get("result")
+
+    # -- frame plumbing ------------------------------------------------------
+
+    def _send(self, channel: FrameChannel, kind: str, **body: Any) -> None:
+        if self.network is not None:
+            self.network.stats.frames_sent += 1
+        channel.send(kind, **body)
+
+    def forward(self, dst: str, src: str, payload: object,
+                size_bytes: int) -> bool:
+        """Frame one routed datagram out to node ``dst`` (dispatcher)."""
+        channel = self._channels.get(dst)
+        if channel is None:
+            return False
+        try:
+            self._send(channel, "data", src=src, dst=dst, payload=payload,
+                       size=size_bytes, reliable=True)
+        except WireError:
+            return False
+        return True
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            channel = FrameChannel(sock)
+            threading.Thread(
+                target=self._serve_conn,
+                args=(channel,),
+                name="repro-hub-serve",
+                daemon=True,
+            ).start()
+
+    def _serve_conn(self, channel: FrameChannel) -> None:
+        """Per-connection reader: registration, routing, replies, traces."""
+        name: Optional[str] = None
+        try:
+            while True:
+                frame = channel.recv()
+                if frame is None:
+                    break
+                if self.network is not None:
+                    self.network.stats.frames_received += 1
+                kind, body = frame
+                if kind == "hello":
+                    name = body["node"]
+                    self.registry.register(
+                        name, body["pid"], conn=channel, now=time.monotonic()
+                    )
+                    with self._lock:
+                        self._channels[name] = channel
+                        event = self._ready.setdefault(name, threading.Event())
+                    self._send(channel, "welcome", node=name)
+                    event.set()
+                elif kind == "heartbeat":
+                    self.registry.beat(body["node"], now=time.monotonic())
+                elif kind == "trace":
+                    self._record_trace(body["event"])
+                elif kind == "data":
+                    # Re-enter the one canonical send path, on the
+                    # dispatcher: stats, fault gates and latency are
+                    # applied here and nowhere else.
+                    network = self.network
+                    if network is not None:
+                        network.loop.submit(
+                            network.send, body["src"], body["dst"],
+                            body["payload"], body["size"], body["reliable"],
+                        )
+                elif kind == "reply":
+                    self._resolve_call(body)
+                elif kind == "bye":
+                    break
+        except WireError:
+            pass
+        finally:
+            if name is not None:
+                with self._lock:
+                    # A restarted node may already have replaced this
+                    # channel; only detach if we are still current.
+                    if self._channels.get(name) is channel:
+                        del self._channels[name]
+            channel.close()
+
+    def _record_trace(self, event: Any) -> None:
+        """Append a node's trace event to the shared recorder.
+
+        The event is re-indexed into the hub recorder's global order;
+        per-lane order (all the signature cares about) is preserved
+        because each node streams its own events in recording order.
+        """
+        recorder = self.trace
+        if recorder is None:
+            return
+        recorder.events.append(
+            dataclasses.replace(event, index=recorder._next_index())
+        )
+
+    def _resolve_call(self, body: Dict[str, Any]) -> None:
+        with self._lock:
+            slot = self._calls.pop(body["call_id"], None)
+        if slot is None:
+            return
+        slot["error"] = body.get("error")
+        slot["result"] = body.get("result")
+        slot["event"].set()
+
+    def _sweep_loop(self) -> None:
+        """Expire registry entries whose heartbeats went silent."""
+        while not self._closing:
+            time.sleep(self.heartbeat_interval)
+            self.registry.expire(time.monotonic())
+
+    # -- teardown ------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop every node, close every socket, remove the run dir."""
+        self._closing = True
+        with self._lock:
+            channels = dict(self._channels)
+            self._channels.clear()
+        for channel in channels.values():
+            try:
+                channel.send("bye")
+            except WireError:
+                pass
+        self.supervisor.shutdown()
+        for channel in channels.values():
+            channel.close()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for name in self.registry.names():
+            self.registry.deregister(name)
+        if self._owns_run_dir:
+            shutil.rmtree(self.run_dir, ignore_errors=True)
+
+
+class SocketNetwork(LiveNetwork):
+    """The hub's transport: local handlers plus remote (node) routing.
+
+    Clients register locally exactly as on :class:`LiveNetwork`; store
+    addresses are *remote* and delivery to them forwards a frame to the
+    node's channel.  All fault machinery (partition queueing, crash
+    drops, counters) is inherited and runs hub-side, so counter parity
+    with the in-process backends holds by construction.
+    """
+
+    def __init__(self, loop: LiveLoop, hub: SocketHub,
+                 latency: float = 0.0) -> None:
+        super().__init__(loop, latency=latency)
+        self.hub = hub
+        self._remote: set = set()
+
+    # -- remote membership ---------------------------------------------------
+
+    def register_remote(self, node: str) -> None:
+        """Mark an address as living in a node process."""
+        with self._lock:
+            self._remote.add(node)
+
+    def unregister_remote(self, node: str) -> None:
+        """Forget a remote address."""
+        with self._lock:
+            self._remote.discard(node)
+
+    def is_registered(self, node: str) -> bool:
+        """Whether the address is attached, locally or remotely."""
+        with self._lock:
+            if node in self._remote:
+                return True
+        return super().is_registered(node)
+
+    @property
+    def nodes(self) -> set:
+        """All attached addresses, local and remote."""
+        with self._lock:
+            remote = set(self._remote)
+        return super().nodes | remote
+
+    # -- delivery ------------------------------------------------------------
+
+    def _arrive(self, src: str, dst: str, payload: object,
+                size_bytes: int) -> None:
+        with self._lock:
+            remote = dst in self._remote
+        if not remote:
+            super()._arrive(src, dst, payload, size_bytes)
+            return
+        if self._crashed_at_arrival(dst):
+            return
+        if self.hub.channel_for(dst) is None:
+            self.stats.datagrams_dropped_unregistered += 1
+            if _obs.ACTIVE is not None:
+                _obs.ACTIVE.event(
+                    self.loop.now, "net.drop", node=dst,
+                    src=src, reason="unregistered",
+                )
+            return
+        self.stats.datagrams_delivered += 1
+        self.stats.bytes_delivered += size_bytes
+        if _obs.ACTIVE is not None:
+            _obs.ACTIVE.event(
+                self.loop.now, "net.deliver", node=dst,
+                src=src, size=size_bytes,
+            )
+        self.hub.forward(dst, src, payload, size_bytes)
+
+    # -- fault teeth ---------------------------------------------------------
+
+    def crash_node(self, node: str) -> None:
+        """Crash semantics, then SIGKILL the real process (if remote)."""
+        super().crash_node(node)
+        with self._lock:
+            remote = node in self._remote
+        if remote:
+            self.hub.kill_node(node)
+
+    def restart_node(self, node: str) -> None:
+        """Re-spawn from checkpoint (if remote), then lift the crash mark.
+
+        The process is brought up *before* the crash mark clears, so any
+        straggling traffic keeps dropping as crashed until the replica
+        is actually back.
+        """
+        with self._lock:
+            remote = node in self._remote
+        if remote:
+            self.hub.restart_node(node)
+        super().restart_node(node)
+
+
+class RemoteStoreLocal:
+    """Duck-typed stand-in for a remote store's ``LocalObject``.
+
+    Holds the address/role identity the :class:`~repro.core.dso.Store`
+    dataclass exposes; teardown is a no-op because the hub's supervisor
+    owns the process.
+    """
+
+    def __init__(self, address: str, role: Role) -> None:
+        self.address = address
+        self.role = role
+
+    def start(self) -> None:
+        """No-op: the node process starts its own replication object."""
+
+    def destroy(self) -> None:
+        """No-op: process teardown belongs to the hub's supervisor."""
+
+
+class _RemoteReads:
+    """The ``engine.reads`` surface of a remote store (demand only)."""
+
+    def __init__(self, proxy: "RemoteEngineProxy") -> None:
+        self._proxy = proxy
+
+    def demand(self, keys: Optional[List[str]] = None,
+               want_full: bool = False) -> None:
+        """Ask the node to issue a catch-up demand to its parent."""
+        self._proxy.call(
+            "demand",
+            keys=list(keys) if keys is not None else None,
+            want_full=want_full,
+        )
+
+
+class RemoteEngineProxy:
+    """RPC proxy for the slice of the engine API harness code drives.
+
+    ``version()`` / ``snapshot_state()`` / ``subscribe_child()`` /
+    ``reads.demand()`` mirror :class:`~repro.replication.engine.
+    StoreReplicationObject`; each is one synchronous hub->node call.
+    """
+
+    def __init__(self, hub: SocketHub, address: str,
+                 parent: Optional[str] = None) -> None:
+        self.hub = hub
+        self.address = address
+        self.parent = parent
+        self.reads = _RemoteReads(self)
+
+    def call(self, op: str, **kwargs: Any) -> Any:
+        """One synchronous RPC against the node's dispatcher."""
+        return self.hub.call(self.address, op, **kwargs)
+
+    def version(self) -> Dict[str, int]:
+        """The remote store's applied version vector."""
+        return self.call("version")
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """The remote store's semantics snapshot."""
+        return self.call("snapshot_state")
+
+    def subscribe_child(self, address: str) -> None:
+        """Add a downstream store to the remote propagation set."""
+        self.call("subscribe_child", address=address)
+
+    def counters(self) -> Dict[str, int]:
+        """The remote engine's message counters (diagnostics)."""
+        return self.call("counters")
+
+    def start(self) -> None:
+        """No-op: the node process started its own engine."""
+
+    def stop(self) -> None:
+        """No-op: node teardown stops the remote engine."""

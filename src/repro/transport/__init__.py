@@ -1,13 +1,15 @@
-"""Unified transport layer: one protocol stack, two substrates (S17).
+"""Unified transport layer: one protocol stack, three substrates (S17).
 
 :mod:`repro.transport.interface` defines the :class:`Clock` and
-:class:`Transport` protocols that both the deterministic simulator pair
-(:class:`~repro.sim.kernel.Simulator` + :class:`~repro.net.network.Network`)
-and the wall-clock pair (:class:`~repro.runtime.live.LiveLoop` +
-:class:`~repro.runtime.live.LiveNetwork`) satisfy.
+:class:`Transport` protocols that the deterministic simulator pair
+(:class:`~repro.sim.kernel.Simulator` + :class:`~repro.net.network.Network`),
+the wall-clock pair (:class:`~repro.runtime.live.LiveLoop` +
+:class:`~repro.runtime.live.LiveNetwork`), and the multi-process socket
+pair (:class:`~repro.runtime.live.LiveLoop` +
+:class:`~repro.runtime.socket.SocketNetwork`) all satisfy.
 :mod:`repro.transport.backend` bundles each pair into a :class:`Backend`
 with a uniform driving interface, selected by name via
-:func:`make_backend`.
+:func:`make_backend` (``"sim"`` / ``"live"`` / ``"live-socket"``).
 """
 
 from repro.transport.backend import (
@@ -16,6 +18,7 @@ from repro.transport.backend import (
     BackendError,
     LiveBackend,
     SimBackend,
+    SocketBackend,
     make_backend,
 )
 from repro.transport.interface import Clock, ReceiveHandler, Transport
@@ -28,6 +31,7 @@ __all__ = [
     "LiveBackend",
     "ReceiveHandler",
     "SimBackend",
+    "SocketBackend",
     "Transport",
     "make_backend",
 ]

@@ -6,13 +6,18 @@ set of operations harness code needs to *drive* a deployment from outside
 the protocol thread: submit a call onto the protocol thread, block until a
 future resolves, let protocol time elapse, and run to quiescence.
 
-Two backends ship:
+Three backends ship:
 
 - :class:`SimBackend` -- the deterministic discrete-event pair
   (``Simulator`` + ``Network``); driving means stepping the event loop.
 - :class:`LiveBackend` -- the wall-clock pair (``LiveLoop`` +
   ``LiveNetwork``); driving means enqueueing onto the dispatcher thread
   and polling real time.
+- :class:`SocketBackend` -- the multi-process pair (``LiveLoop`` +
+  ``SocketNetwork``): every store runs in its own OS process connected
+  over framed sockets, while clients and the fault surface stay in the
+  hub process.  Driving is identical to ``LiveBackend``; fault plans
+  gain real teeth (CrashNode SIGKILLs a process).
 
 Harness code written against this interface (the parity tests, the live
 sweep adapter, :func:`repro.workload.scenarios.build_tree`) runs unchanged
@@ -240,10 +245,113 @@ class LiveBackend(Backend):
         return True
 
 
+class SocketBackend(LiveBackend):
+    """Multi-process backend: stores in child processes, clients in-hub.
+
+    The clock is a hub-local :class:`~repro.runtime.live.LiveLoop`; the
+    transport is a :class:`~repro.runtime.socket.SocketNetwork` that
+    forwards store-bound datagrams over per-node frame sockets.  Store
+    construction goes through :meth:`store_factory` (consumed by
+    :class:`~repro.core.dso.DistributedSharedObject`), which spawns one
+    ``repro.runtime.node`` process per store and returns an RPC proxy.
+
+    The shared trace recorder lives on :attr:`trace`; node processes
+    stream their events back into it, so ``coherence_signature`` works
+    exactly as on the in-process backends.
+    """
+
+    name = "live-socket"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: Union[float, None] = None,
+        loss_rate: float = 0.0,
+        call_timeout: float = 10.0,
+        run_dir: Optional[str] = None,
+    ) -> None:
+        # Imports deferred: repro.runtime/repro.coherence import this
+        # module's package.
+        from repro.coherence.trace import TraceRecorder
+        from repro.runtime.live import LiveLoop
+        from repro.runtime.socket import SocketHub, SocketNetwork
+
+        if loss_rate:
+            raise BackendError(
+                "the socket transport is lossless (TCP/Unix streams); "
+                "loss injection is a simulator feature"
+            )
+        if latency is not None and not isinstance(latency, (int, float)):
+            raise BackendError(
+                f"live-socket latency must be a constant delay in seconds, "
+                f"got {latency!r}"
+            )
+        self.seed = seed
+        self.clock = LiveLoop(seed=seed)
+        self.trace = TraceRecorder()
+        self.hub = SocketHub(
+            run_dir=run_dir, call_timeout=call_timeout, trace=self.trace
+        )
+        self.transport = SocketNetwork(
+            self.clock,
+            self.hub,
+            latency=0.001 if latency is None else float(latency),
+        )
+        self.hub.network = self.transport
+        self.call_timeout = call_timeout
+
+    def store_factory(self, dso: Any, address: str, role: Any,
+                      parent: Optional[str]) -> Any:
+        """Spawn the store as a node process; return its Store proxy.
+
+        The first permanent store is the primary and ships the
+        prototype's full page snapshot in its spec; every other store
+        starts from an empty document, exactly like
+        ``SemanticsObject.fresh()`` in-process.
+        """
+        from repro.core.dso import Store
+        from repro.core.interfaces import Role
+        from repro.runtime.socket import RemoteEngineProxy, RemoteStoreLocal
+
+        primary = role is Role.PERMANENT and dso.primary is None
+        spec = {
+            "address": address,
+            "role": role.value,
+            "parent": parent,
+            "policy": dso.policy,
+            "allowed_writer": dso.designated_writer,
+            "reliable_transport": dso.reliable_transport,
+            "seed": self.seed,
+            "semantics_state": (
+                dso.semantics_prototype.snapshot() if primary else None
+            ),
+        }
+        self.hub.spawn_node(address, spec)
+        self.transport.register_remote(address)
+        return Store(
+            local=RemoteStoreLocal(address, role),
+            engine=RemoteEngineProxy(self.hub, address, parent=parent),
+        )
+
+    def settle(self, timeout: float = 5.0, grace: float = 0.05) -> None:
+        """Observe hub quiescence, with extra slack for socket hops.
+
+        The hub loop's ``idle`` cannot see work queued inside node
+        processes, so the grace window absorbs in-flight frames too.
+        """
+        super().settle(timeout=timeout, grace=max(grace, 0.2))
+
+    def stop(self) -> None:
+        """Stop the dispatcher, then every node process and socket."""
+        self.clock.stop()
+        self.hub.shutdown()
+
+
 #: Buildable backends by name.
 BACKENDS = {
     SimBackend.name: SimBackend,
     LiveBackend.name: LiveBackend,
+    SocketBackend.name: SocketBackend,
 }
 
 

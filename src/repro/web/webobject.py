@@ -9,7 +9,7 @@ experiments use.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.coherence.models import SessionGuarantee
 from repro.coherence.trace import TraceRecorder
@@ -86,6 +86,7 @@ class WebObject:
         name_service: Optional[NameService] = None,
         designated_writer: Optional[str] = None,
         reliable_transport: bool = True,
+        store_factory: Optional[Callable] = None,
     ) -> None:
         self.sim = sim
         document = WebDocument(pages=pages, clock=lambda: sim.now)
@@ -99,6 +100,7 @@ class WebObject:
             name_service=name_service,
             designated_writer=designated_writer,
             reliable_transport=reliable_transport,
+            store_factory=store_factory,
         )
 
     @property

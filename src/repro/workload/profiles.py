@@ -17,12 +17,13 @@ parameters stays in exactly one place.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
-from repro.replication.policy import ReplicationPolicy
+from repro.replication.policy import ReplicationPolicy, TransferInstant
 from repro.sim.process import Process
+from repro.transport.backend import Backend, BackendError
 from repro.workload.cohort import CohortReaderWorkload
-from repro.workload.generator import ReaderWorkload, WriterWorkload
+from repro.workload.generator import ReaderWorkload, WriterWorkload, drive_live
 from repro.workload.scenarios import Deployment, build_tree
 
 def default_pages() -> Dict[str, str]:
@@ -109,6 +110,8 @@ def run_profile(
     n_readers_per_cache: int = 1,
     cohort_size: int = 1,
     scheduler: Optional[str] = None,
+    backend: Union[str, Backend] = "sim",
+    time_scale: float = 1.0,
 ) -> Deployment:
     """Drive ``profile`` over a fresh Fig. 2 tree under ``policy``.
 
@@ -131,8 +134,34 @@ def run_profile(
     ``scheduler`` selects the simulator's event queue.  At the defaults
     the build and its fork order are byte-identical to the historical
     code path, so cached sweep results keep their keys.
+
+    ``backend`` selects the substrate.  On ``"sim"`` (the default)
+    everything above holds.  On a wall-clock backend (``"live"`` /
+    ``"live-socket"``) the *same* workload generators -- same forked RNG
+    streams, same operation sequences -- are driven by real threads via
+    :func:`~repro.workload.generator.drive_live`, with every think time
+    multiplied by ``time_scale`` so a profile calibrated in virtual
+    seconds finishes quickly; ``horizon`` and ``fault_plan`` are
+    virtual-time features and raise :class:`~repro.transport.backend.
+    BackendError` there (fault plans on live backends run through the
+    scenario scripts in :mod:`repro.faults.scenario`).  The caller owns
+    live teardown via ``deployment.shutdown()``.
     """
     pages = pages if pages is not None else default_pages()
+    backend_name = backend.name if isinstance(backend, Backend) else backend
+    if backend_name != "sim":
+        # Validate before building: a live build spawns threads (and, on
+        # live-socket, real node processes) the caller would then leak.
+        if horizon is not None:
+            raise BackendError(
+                "horizon is a virtual-time feature; live backends run "
+                "the workload to completion"
+            )
+        if fault_plan is not None:
+            raise BackendError(
+                "timed fault plans are calibrated in virtual time; on "
+                "live backends drive faults through repro.faults.scenario"
+            )
     deployment = build_tree(
         policy=policy,
         n_caches=n_caches,
@@ -143,6 +172,7 @@ def run_profile(
         request_retries=request_retries,
         scheduler=scheduler,
         cohort_size=cohort_size,
+        backend=backend,
     )
     sim = deployment.sim
     rng = sim.rng.fork("workload")
@@ -184,6 +214,15 @@ def run_profile(
                 operations=profile.reads_per_client,
             )
         )
+    if backend_name != "sim":
+        drive_live(deployment, workloads, time_scale=time_scale)
+        deployment.settle()
+        if policy.transfer_instant is TransferInstant.LAZY:
+            # Drain the final lazy window in real time, as the sim path
+            # drains it in virtual time below.
+            deployment.advance(2 * policy.lazy_interval)
+            deployment.settle()
+        return deployment
     if fault_plan is not None:
         # Forked *after* the workload RNG so fault-free sweeps keep their
         # historical fork order (and therefore their cached results).

@@ -25,6 +25,7 @@ from repro.transport import (
     BackendError,
     LiveBackend,
     SimBackend,
+    SocketBackend,
     make_backend,
 )
 from repro.web.webobject import Browser, WebObject
@@ -164,13 +165,13 @@ def _resolve_backend(
             loss_rate=loss_rate,
             scheduler=scheduler,
         )
-    if backend == LiveBackend.name:
+    if backend in (LiveBackend.name, SocketBackend.name):
         if latency is not None:
             raise BackendError(
-                "the live backend takes live_latency (a constant delay in "
-                "seconds), not a simulator LatencyModel"
+                f"the {backend} backend takes live_latency (a constant "
+                "delay in seconds), not a simulator LatencyModel"
             )
-        return make_backend("live", seed=seed, latency=live_latency,
+        return make_backend(backend, seed=seed, latency=live_latency,
                             loss_rate=loss_rate)
     return make_backend(backend)  # raises the canonical unknown-name error
 
@@ -233,13 +234,19 @@ def build_tree(
     backend_obj = _resolve_backend(backend, seed, latency, live_latency,
                                    loss_rate, scheduler=scheduler)
     clock, transport = backend_obj.clock, backend_obj.transport
+    # The socket backend owns the deployment's shared trace recorder
+    # (node processes stream events into it) and builds stores through a
+    # factory that spawns real processes; in-process backends have
+    # neither attribute and keep the historical assembly.
     site = WebObject(
         clock,
         transport,
         policy=policy,
         pages=pages or {"index.html": "<h1>home</h1>"},
+        trace=getattr(backend_obj, "trace", None),
         designated_writer=designated_writer,
         reliable_transport=reliable_transport,
+        store_factory=getattr(backend_obj, "store_factory", None),
     )
     server = site.create_server("server")
     mirrors = [

@@ -1,0 +1,179 @@
+"""Process-kill fault semantics on the socket backend.
+
+On ``backend="live-socket"`` the fault plan grows real teeth: CrashNode
+SIGKILLs the store's OS process and RestartNode re-spawns it from its
+last checkpoint.  These tests assert (a) the process-level mechanics --
+the PID actually dies, the registry notices, the restart produces a new
+process that re-attaches -- and (b) the semantics: the replayed X12
+scenario must produce the same drop counters and the same time-free
+coherence signature as the in-process thread backend, byte-pinned by
+``tests/golden/fault_smoke_signature.json``.
+
+The full scenario runs under a hard wall-clock alarm so a hung heal or
+restart fails the test instead of stalling the suite.
+"""
+
+import json
+import os
+import signal
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro.faults.scenario import fault_smoke_point
+from repro.replication.policy import ReplicationPolicy
+from repro.workload.scenarios import build_tree
+
+SEED = 7
+
+GOLDEN = Path(__file__).parent / "golden" / "fault_smoke_signature.json"
+
+#: Hard wall-clock budget for one full X12 scenario run (seconds).  The
+#: scenario itself finishes in ~2s; the margin covers loaded CI workers.
+SOAK_BUDGET = 120
+
+
+@contextmanager
+def wall_clock_deadline(seconds):
+    """Raise ``TimeoutError`` if the body runs longer than ``seconds``."""
+
+    def expired(signum, frame):
+        raise TimeoutError(f"fault soak exceeded {seconds}s wall clock")
+
+    previous = signal.signal(signal.SIGALRM, expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def canonical(signature):
+    """JSON round-trip: tuples become lists, keys sort stably."""
+    return json.loads(json.dumps(signature, sort_keys=True))
+
+
+class TestProcessKillMechanics:
+    """CrashNode/RestartNode against real PIDs, driven directly."""
+
+    @pytest.fixture()
+    def deployment(self):
+        deployment = build_tree(
+            policy=ReplicationPolicy(),
+            n_caches=2,
+            n_readers_per_cache=1,
+            pages={"index.html": "<h1>faults</h1>"},
+            seed=SEED,
+            backend="live-socket",
+            request_timeout=0.5,
+        )
+        yield deployment
+        deployment.shutdown()
+
+    def test_crash_node_sigkills_the_real_process(self, deployment):
+        hub = deployment.backend.hub
+        victim = "cache-1"
+        pid = hub.node_pid(victim)
+        os.kill(pid, 0)  # alive before the fault
+        deployment.network.crash_node(victim)
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)
+        assert victim not in hub.registry.names()
+        assert hub.channel_for(victim) is None
+
+    def test_traffic_into_crashed_node_is_counted_dropped(self, deployment):
+        victim = "cache-1"
+        deployment.network.crash_node(victim)
+        before = deployment.network.stats.datagrams_dropped_crashed
+        master = deployment.browsers["master"]
+        future = deployment.call(master.write_page, "index.html", "<h1>w</h1>")
+        deployment.wait(future, timeout=10.0)
+        assert deployment.wait_until(
+            lambda: deployment.network.stats.datagrams_dropped_crashed
+            > before,
+            timeout=10.0,
+        ), "propagation toward the dead process must count as crash-dropped"
+
+    def test_restart_respawns_new_pid_and_reattaches(self, deployment):
+        hub = deployment.backend.hub
+        victim = "cache-1"
+        old_pid = hub.node_pid(victim)
+        deployment.network.crash_node(victim)
+        deployment.network.restart_node(victim)
+        new_pid = hub.node_pid(victim)
+        assert new_pid != old_pid
+        os.kill(new_pid, 0)
+        assert victim in hub.registry.names()
+        assert hub.registry.alive(victim, now=time.monotonic())
+
+    def test_restarted_replica_recovers_from_checkpoint(self, deployment):
+        victim = "cache-1"
+        master = deployment.browsers["master"]
+        future = deployment.call(master.write_page, "index.html", "<h1>1</h1>")
+        deployment.wait(future, timeout=10.0)
+        assert deployment.wait_until(
+            lambda: all(
+                engine.version().get("master", 0) == 1
+                for engine in deployment.engines
+            ),
+            timeout=10.0,
+        )
+        deployment.network.crash_node(victim)
+        # A write while the replica is down is dropped toward it.
+        future = deployment.call(master.write_page, "index.html", "<h1>2</h1>")
+        deployment.wait(future, timeout=10.0)
+        deployment.network.restart_node(victim)
+        engine = deployment.site.dso.stores[victim].engine
+        # The checkpointed state survived the SIGKILL...
+        assert engine.version().get("master", 0) >= 1
+        # ...and a demand pulls in what the outage dropped.
+        engine.reads.demand(want_full=True)
+        assert deployment.wait_until(
+            lambda: engine.version().get("master", 0) == 2, timeout=10.0
+        ), "restarted replica must catch up via demand"
+
+
+class TestFaultSoakParity:
+    """The scripted X12 scenario, replayed with real process kills."""
+
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        with wall_clock_deadline(SOAK_BUDGET):
+            return {
+                backend: fault_smoke_point(
+                    {"backend": backend, "seed": SEED}, seed=0
+                )
+                for backend in ("live", "live-socket")
+            }
+
+    def test_scenario_phases_complete(self, outcomes):
+        for backend, outcome in outcomes.items():
+            assert outcome["converged_initial"], backend
+            assert outcome["stale_read_under_partition"], backend
+            assert outcome["recovered_after_heal"], backend
+            assert outcome["converged_during_crash"], backend
+            assert outcome["unavailable_reads"] == 1, backend
+            assert outcome["demand_refresh_ok"], backend
+            assert outcome["recovered_after_restart"], backend
+
+    def test_drop_counters_match_thread_backend(self, outcomes):
+        thread, sock = outcomes["live"], outcomes["live-socket"]
+        assert sock["dropped_crashed"] == thread["dropped_crashed"] > 0
+        assert sock["dropped_partition"] == thread["dropped_partition"]
+        assert sock["unavailable_reads"] == thread["unavailable_reads"]
+
+    def test_final_versions_identical(self, outcomes):
+        assert (
+            outcomes["live"]["versions"] == outcomes["live-socket"]["versions"]
+        )
+
+    def test_signature_matches_pinned_golden(self, outcomes):
+        golden = json.loads(GOLDEN.read_text())
+        for backend, outcome in outcomes.items():
+            assert canonical(outcome["signature"]) == golden, (
+                f"{backend}: fault scenario diverged from the golden "
+                "signature (tests/golden/fault_smoke_signature.json)"
+            )

@@ -1,14 +1,36 @@
-"""Golden sim/live parity: one scenario, two substrates, one behaviour.
+"""Golden backend parity: one scenario, three substrates, one behaviour.
 
-The acceptance claim of the transport refactor: the same ``Deployment``
+The acceptance claim of the transport stack: the same ``Deployment``
 scenario, driven by the same synchronous script under a fixed seed,
 produces the identical coherence trace (time-free signature) and final
-``version()`` on the deterministic simulator and on the wall-clock
-runtime.  The canonical script lives in
-:func:`repro.exec.live.live_smoke_point` -- the X9 experiment and the
-live-sweep adapter run the very same code, so this test pins exactly the
-claim they report.
+``version()`` on the deterministic simulator, on the wall-clock thread
+runtime, and on the multi-process socket runtime.  The canonical script
+lives in :func:`repro.exec.live.live_smoke_point` -- the X9 experiment
+and the live-sweep adapter run the very same code, so this test pins
+exactly the claim they report.
+
+The sim signature is additionally pinned byte-for-byte in
+``tests/golden/backend_smoke_signature.json``; because every backend
+must equal sim, the golden transitively pins all three (a protocol
+change cannot slip through as "all backends drifted the same way").
+
+Regenerate the golden file after an *intended* protocol change with::
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.exec.live import live_smoke_point
+    out = live_smoke_point(
+        {"backend": "sim", "writes": 3, "n_caches": 2, "seed": 7}, seed=0
+    )
+    sig = json.loads(json.dumps(out["signature"], sort_keys=True))
+    with open("tests/golden/backend_smoke_signature.json", "w") as fh:
+        json.dump(sig, fh, indent=1, sort_keys=True)
+        fh.write("\\n")
+    PY
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -18,6 +40,16 @@ from repro.workload.scenarios import build_tree
 
 SEED = 7
 
+#: Every driving substrate; parity is asserted pairwise against "sim".
+BACKENDS = ("sim", "live", "live-socket")
+
+GOLDEN = Path(__file__).parent / "golden" / "backend_smoke_signature.json"
+
+
+def canonical(signature):
+    """JSON round-trip: tuples become lists, keys sort stably."""
+    return json.loads(json.dumps(signature, sort_keys=True))
+
 
 class TestGoldenParity:
     @pytest.fixture(scope="class")
@@ -25,36 +57,48 @@ class TestGoldenParity:
         config = {"writes": 3, "n_caches": 2, "seed": SEED}
         return {
             backend: live_smoke_point(dict(config, backend=backend), seed=0)
-            for backend in ("sim", "live")
+            for backend in BACKENDS
         }
 
-    def test_both_backends_converge_and_serve(self, outcomes):
+    def test_all_backends_converge_and_serve(self, outcomes):
         for backend, outcome in outcomes.items():
             assert outcome["converged"], f"{backend}: convergence gate failed"
             assert outcome["reads_ok"] == 2, f"{backend}: stale reads"
 
-    def test_final_versions_identical(self, outcomes):
-        assert outcomes["sim"]["versions"] == outcomes["live"]["versions"]
+    @pytest.mark.parametrize("backend", [b for b in BACKENDS if b != "sim"])
+    def test_final_versions_identical(self, outcomes, backend):
+        assert outcomes["sim"]["versions"] == outcomes[backend]["versions"]
         assert all(
             version == {"master": 3}
             for version in outcomes["sim"]["versions"].values()
         )
 
-    def test_coherence_signatures_identical(self, outcomes):
+    @pytest.mark.parametrize("backend", [b for b in BACKENDS if b != "sim"])
+    def test_coherence_signatures_identical(self, outcomes, backend):
         sim_signature = outcomes["sim"]["signature"]
-        live_signature = outcomes["live"]["signature"]
-        assert sorted(sim_signature) == sorted(live_signature)
+        other_signature = outcomes[backend]["signature"]
+        assert sorted(sim_signature) == sorted(other_signature)
         for lane in sim_signature:
-            assert sim_signature[lane] == live_signature[lane], (
-                f"coherence trace diverged between backends in lane {lane}"
+            assert sim_signature[lane] == other_signature[lane], (
+                f"coherence trace diverged between sim and {backend} "
+                f"in lane {lane}"
             )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_signature_matches_golden_file(self, outcomes, backend):
+        golden = json.loads(GOLDEN.read_text())
+        assert canonical(outcomes[backend]["signature"]) == golden, (
+            f"{backend}: the smoke scenario's coherence history changed; "
+            "if this is an intended protocol change, regenerate the "
+            "golden file (see module docstring)"
+        )
 
 
 class TestDeploymentDriving:
-    """The backend-agnostic Deployment helpers themselves, on both
-    substrates (the smoke point exercises them only indirectly)."""
+    """The backend-agnostic Deployment helpers themselves, on every
+    substrate (the smoke point exercises them only indirectly)."""
 
-    @pytest.mark.parametrize("backend", ["sim", "live"])
+    @pytest.mark.parametrize("backend", list(BACKENDS))
     def test_call_wait_and_wait_until(self, backend):
         deployment = build_tree(
             policy=ReplicationPolicy(),

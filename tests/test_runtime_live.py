@@ -72,6 +72,31 @@ class TestLiveLoop:
         loop.schedule(0.02, survived.append, 1)
         assert wait_for(lambda: survived)
 
+    def test_stop_joins_a_busy_dispatcher(self):
+        # Regression: stop() used to give up after its idle timeout even
+        # when the dispatcher was mid-callback, leaving a live thread
+        # mutating protocol state behind a "stopped" runtime.
+        busy_loop = LiveLoop(seed=1)
+        busy_loop.start()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def long_callback():
+            entered.set()
+            release.wait(5.0)
+
+        busy_loop.submit(long_callback)
+        assert entered.wait(5.0), "callback must be running before stop()"
+        thread = busy_loop._thread
+        threading.Timer(0.3, release.set).start()
+        # The idle budget is far shorter than the callback; stop() must
+        # nevertheless wait the callback out and join the thread.
+        busy_loop.stop(timeout=0.05)
+        assert release.is_set()
+        assert not thread.is_alive(), (
+            "stop() returned while the dispatcher thread was still running"
+        )
+
 
 class TestLiveNetwork:
     def test_delivery(self, loop):
