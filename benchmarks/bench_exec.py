@@ -11,11 +11,19 @@ emits ``BENCH_exec.json``::
 
 For each executor the report records wall-clock points/sec plus the
 transport accounting from ``ExecutorStats``: ``pipe_bytes`` (what
-crossed the worker pool's pickle pipe) and ``payload_bytes`` (the
-encoded payload volume).  The shared-memory executor moves the payloads
-out of the pipe entirely -- only (label, segment, length, digest)
-descriptors cross it -- which is the number the ROADMAP's
+crossed the worker pool's pickle pipe), ``payload_bytes`` (the encoded
+payload volume), and for the distributed executor ``wire_bytes`` (framed
+socket traffic) and ``retries``.  The shared-memory executor moves the
+payloads out of the pipe entirely -- only (label, segment, length,
+digest) descriptors cross it -- which is the number the ROADMAP's
 "shared-memory result transport" item asked to see.
+
+A second section scales the distributed executor across 1/2/4 local
+worker daemons on a *stall-bound* sweep (each point holds a fixed stall,
+the shape of remote compute or I/O a multi-host sweep actually fans
+out).  Worker capacity is additive there, so points/sec rises above the
+serial baseline as daemons are added -- on any host, including the
+1-CPU boxes where a CPU-bound sweep cannot parallelize at all.
 
 Not a pytest module: run it directly (CI treats the perf trajectory as
 data, not as a gate).
@@ -33,6 +41,7 @@ from typing import Any, Dict
 
 from repro.exec import (
     EXECUTORS,
+    DistributedExecutor,
     ResultCache,
     SweepSpec,
     default_parallelism,
@@ -69,6 +78,30 @@ def build_spec(points: int, samples: int) -> SweepSpec:
     spec = SweepSpec(name="bench-exec", run_point=large_trace_point)
     for index in range(points):
         spec.add(f"pt-{index:02d}", tag=f"pt-{index:02d}", samples=samples)
+    return spec
+
+
+def stalled_point(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One stall-bound point: a fixed hold, then a small pure payload.
+
+    The stall stands in for the remote compute / device I/O a
+    multi-host sweep fans out; the payload stays deterministic so the
+    distributed runs remain byte-identical to serial.
+    """
+    time.sleep(float(config["stall_s"]))
+    base = seed % (1 << 16)
+    return {
+        "label": config["tag"],
+        "samples": [(base + i) / 64.0 for i in range(512)],
+        "summary": {"seed": seed, "stall_s": config["stall_s"]},
+    }
+
+
+def build_stalled_spec(points: int, stall_s: float) -> SweepSpec:
+    """The scaling sweep: ``points`` stall-bound points."""
+    spec = SweepSpec(name="bench-exec-stalled", run_point=stalled_point)
+    for index in range(points):
+        spec.add(f"st-{index:02d}", tag=f"st-{index:02d}", stall_s=stall_s)
     return spec
 
 
@@ -112,7 +145,61 @@ def bench_executor(name: str, points: int, samples: int,
         "points_per_sec": round(points / elapsed, 3),
         "pipe_bytes": stats.pipe_bytes,
         "payload_bytes": stats.payload_bytes,
+        "wire_bytes": stats.wire_bytes,
+        "retries": stats.retries,
     }
+
+
+def bench_distributed_scaling(points: int, stall_s: float
+                              ) -> Dict[str, Any]:
+    """Serial baseline vs 1/2/4 worker daemons on the stall-bound sweep.
+
+    One timed pass per row: the timing is stall-dominated, so run-to-run
+    drift is far below the worker-count effect being measured.  Each
+    distributed row includes daemon startup, so the speedup numbers are
+    end-to-end, not steady-state.
+    """
+    section: Dict[str, Any] = {
+        "points": points,
+        "stall_s_per_point": stall_s,
+        "rows": {},
+    }
+
+    def timed(executor) -> float:
+        with tempfile.TemporaryDirectory(prefix="bench-exec-") as cache_dir:
+            started = time.perf_counter()
+            measured = run_sweep(build_stalled_spec(points, stall_s),
+                                 executor=executor,
+                                 cache=ResultCache(cache_dir))
+            elapsed = time.perf_counter() - started
+            assert len(measured) == points
+        return elapsed
+
+    serial_elapsed = timed(EXECUTORS["serial"]())
+    section["rows"]["serial"] = {
+        "seconds": round(serial_elapsed, 4),
+        "points_per_sec": round(points / serial_elapsed, 3),
+    }
+    print(f"{'stalled serial':>14}: "
+          f"{points / serial_elapsed:8.2f} points/sec")
+    for workers in (1, 2, 4):
+        executor = DistributedExecutor(collect_stats=True, workers=workers)
+        elapsed = timed(executor)
+        row = {
+            "workers": workers,
+            "seconds": round(elapsed, 4),
+            "points_per_sec": round(points / elapsed, 3),
+            "wire_bytes": executor.stats.wire_bytes,
+            "retries": executor.stats.retries,
+            "speedup_vs_serial": round(serial_elapsed / elapsed, 3),
+        }
+        section["rows"][f"distributed_{workers}w"] = row
+        print(f"{'distributed':>11}-{workers}w: "
+              f"{row['points_per_sec']:8.2f} points/sec   "
+              f"wire {row['wire_bytes']:>12,} B   "
+              f"retries {row['retries']}   "
+              f"speedup {row['speedup_vs_serial']:.2f}x")
+    return section
 
 
 def main(argv) -> int:
@@ -133,6 +220,12 @@ def main(argv) -> int:
     parser.add_argument("--repeats", type=int, default=3,
                         help="timed passes per executor; the best run "
                              "counts (default 3)")
+    parser.add_argument("--stall-points", type=int, default=16,
+                        help="points in the distributed-scaling sweep "
+                             "(default 16)")
+    parser.add_argument("--stall", type=float, default=0.25,
+                        help="per-point stall in the scaling sweep, "
+                             "seconds (default 0.25)")
     parser.add_argument("--out", default="BENCH_exec.json",
                         help="report path (default BENCH_exec.json)")
     args = parser.parse_args(argv)
@@ -162,6 +255,9 @@ def main(argv) -> int:
         ),
         "speedup": round(shm["points_per_sec"] / pool["points_per_sec"], 3),
     }
+    report["distributed_scaling"] = bench_distributed_scaling(
+        args.stall_points, args.stall
+    )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

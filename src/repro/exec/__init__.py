@@ -8,9 +8,10 @@ three-layer stack:
 - an :class:`Executor` (:mod:`repro.exec.backends`) decides *how*
   points run: :class:`SerialExecutor` in process,
   :class:`PicklePipeExecutor` over a worker pool with payloads pickled
-  through the pool pipe, or :class:`SharedMemoryExecutor` with payloads
+  through the pool pipe, :class:`SharedMemoryExecutor` with payloads
   staged in ``multiprocessing.shared_memory`` segments and only a tiny
-  descriptor crossing the pipe;
+  descriptor crossing the pipe, or :class:`DistributedExecutor` fanning
+  points out to worker daemons over the codec-framed wire layer;
 - the codec (:mod:`repro.exec.codec`) gives the large per-point
   artifacts one compact binary form shared by the shared-memory
   transport and the on-disk :class:`ResultCache`;
@@ -51,6 +52,11 @@ from repro.exec.cli import (
     supported_exec_kwargs,
 )
 from repro.exec.codec import CodecError, decode_result, encode_result
+from repro.exec.distributed import (
+    HUB_BIND_ENV,
+    WORKERS_ENV,
+    DistributedExecutor,
+)
 from repro.exec.runner import (
     SweepPointError,
     cached_point_labels,
@@ -62,12 +68,15 @@ from repro.exec.spec import SweepPoint, SweepSpec
 
 __all__ = [
     "CodecError",
+    "DistributedExecutor",
     "EXECUTOR_ENV",
     "EXECUTORS",
     "Executor",
     "ExecutorStats",
+    "HUB_BIND_ENV",
     "PointTask",
     "PicklePipeExecutor",
+    "WORKERS_ENV",
     "ResultCache",
     "SerialExecutor",
     "SharedMemoryExecutor",

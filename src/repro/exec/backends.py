@@ -4,15 +4,17 @@ The runner (:mod:`repro.exec.runner`) decides *what* to run -- which
 points are pending after the cache is consulted -- and hands the
 resulting :class:`PointTask` list to an :class:`Executor`, which decides
 *how*: in process, over a worker pool with results pickled through the
-pool pipe, or over a worker pool with results staged in
+pool pipe, over a worker pool with results staged in
 ``multiprocessing.shared_memory`` segments so only a tiny
-``(label, segment name, length, digest)`` descriptor crosses the pipe.
+``(label, segment name, length, digest)`` descriptor crosses the pipe,
+or fanned out to remote worker daemons over the codec-framed wire layer
+(:class:`~repro.exec.distributed.DistributedExecutor`, registered on
+import of :mod:`repro.exec`).
 
 Because every point's seed is derived from its config and point
-functions are pure, the three executors are pure mechanism: they return
-bit-identical results and leave bit-identical cache entries.  A future
-distributed (remote-worker) backend plugs in as a fourth ``Executor``
-behind the same seam.
+functions are pure, the executors are pure mechanism: they return
+bit-identical results and leave bit-identical cache entries whichever
+one runs a sweep, at any worker count, in any completion order.
 
 Selection: ``run_sweep(executor=...)`` / the ``--executor`` CLI flag
 name an entry of :data:`EXECUTORS`; when neither is given, the
@@ -36,6 +38,7 @@ from typing import (
     Callable,
     Dict,
     Hashable,
+    Iterable,
     Iterator,
     List,
     Optional,
@@ -84,21 +87,42 @@ class ExecutorStats:
     pipe).  Filled in only when the executor was built with
     ``collect_stats=True`` -- measuring the pool pipe requires
     re-serializing results, which is benchmark work, not sweep work.
+
+    The distributed executor additionally fills ``wire_bytes`` (framed
+    bytes that crossed worker sockets, headers included) and
+    ``retries`` (task re-dispatches after a worker loss), always --
+    both are free byproducts of serving the queue.
     """
 
     points: int = 0
     failures: int = 0
     pipe_bytes: int = 0
     payload_bytes: int = 0
+    wire_bytes: int = 0
+    retries: int = 0
 
 
-def default_parallelism(task_count: Optional[int] = None) -> int:
+def default_parallelism(
+    task_count: Optional[int] = None,
+    remote_slots: Optional[Iterable[int]] = None,
+) -> int:
     """Worker count used when the caller asks for ``parallel=0``.
 
     Clamped to ``task_count`` when known: a four-point sweep on a
     64-core host should fork four workers, not 64 idle ones.
+
+    ``remote_slots`` -- the per-worker slot counts remote daemons
+    advertise in their hello/welcome handshake -- replaces the local
+    ``cpu_count`` when given: a sweep served by remote workers has
+    exactly as much capacity as those workers advertise, which has
+    nothing to do with how many cores the *hub* machine happens to
+    have.  An empty iterable means no capacity is known yet and
+    degrades to one worker.
     """
-    workers = max(1, os.cpu_count() or 1)
+    if remote_slots is not None:
+        workers = max(1, sum(max(0, int(slots)) for slots in remote_slots))
+    else:
+        workers = max(1, os.cpu_count() or 1)
     if task_count is not None:
         workers = max(1, min(workers, task_count))
     return workers
@@ -112,11 +136,17 @@ class PointTelemetry:
     under a reused pool worker it is an upper bound for the point, not
     an exact attribution.  ``events`` counts traced events and is zero
     unless the :data:`~repro.obs.tracer.TRACE_ENV` variable is set.
+    ``worker`` and ``retries`` attribute a point to the remote worker
+    daemon that computed it and count how often it was re-dispatched
+    after a worker loss; both stay at their defaults under the local
+    executors, where neither concept exists.
     """
 
     wall_s: float
     peak_rss_kb: int = 0
     events: int = 0
+    worker: str = ""
+    retries: int = 0
 
 
 class TelemetryEnvelope:

@@ -15,6 +15,7 @@ import inspect
 from typing import Any, Callable, Dict, Optional
 
 from repro.exec.backends import EXECUTOR_ENV, EXECUTORS
+from repro.exec.distributed import WORKERS_ENV, DistributedExecutor
 
 
 def _worker_count(text: str) -> int:
@@ -44,6 +45,13 @@ def add_exec_arguments(parser: argparse.ArgumentParser) -> None:
              "--parallel 1, process-pool otherwise; the "
              f"{EXECUTOR_ENV} environment variable overrides the "
              "default; results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--workers", type=_worker_count, default=None, metavar="N",
+        help="worker-daemon count for --executor distributed "
+             "(localhost auto-spawn; 0 = external workers only, needs "
+             f"REPRO_HUB_BIND; default: the {WORKERS_ENV} environment "
+             "variable, then --parallel)",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="PATH",
@@ -84,11 +92,21 @@ def apply_cache_maintenance(namespace: argparse.Namespace) -> Optional[str]:
 
 
 def exec_kwargs(namespace: argparse.Namespace) -> Dict[str, Any]:
-    """The execution keywords encoded in a parsed namespace."""
+    """The execution keywords encoded in a parsed namespace.
+
+    ``--workers`` only means something to the distributed executor, so
+    a namespace carrying it turns the executor *name* into a prebuilt
+    :class:`~repro.exec.distributed.DistributedExecutor` instance --
+    the runner accepts either form.
+    """
+    executor: Any = getattr(namespace, "executor", None)
+    workers = getattr(namespace, "workers", None)
+    if workers is not None and executor == DistributedExecutor.name:
+        executor = DistributedExecutor(workers=workers)
     return {
         "parallel": namespace.parallel,
         "cache_dir": namespace.cache_dir,
-        "executor": getattr(namespace, "executor", None),
+        "executor": executor,
     }
 
 

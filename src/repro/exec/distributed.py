@@ -1,0 +1,638 @@
+"""Distributed sweep executor: fan points out to worker daemons.
+
+The fourth :class:`~repro.exec.backends.Executor`: the hub (this
+module) serves a *pull-based work queue* over the codec-framed wire
+layer (:mod:`repro.runtime.wire`); worker daemons
+(``python -m repro.exec.worker``) request the next task whenever they
+have a free slot.  Pull dispatch is natural work-stealing -- a slow
+point occupies exactly one worker while every other worker keeps
+draining the queue, so stragglers cannot stall the sweep.
+
+Layers, mirroring the queue-based-load-leveling / retry-with-backoff
+patterns the ROADMAP names:
+
+- :class:`SweepHub` is the pure state machine: pending queue,
+  per-worker assignments, bounded retry-with-backoff on worker loss,
+  duplicate-result suppression.  It never touches a socket, which is
+  what makes the wire protocol unit-testable.
+- :class:`DistributedExecutor` is the I/O shell: it binds a listener
+  (a Unix socket in a throwaway run directory by default, or any
+  ``unix:``/``tcp:`` address for multi-host use), spawns localhost
+  workers through a :class:`WorkerSupervisor` when asked, runs one
+  reader thread per worker connection, sweeps heartbeat liveness
+  through the shared :class:`~repro.runtime.registry.Registry`, and
+  streams result triples back to the runner as they arrive.
+
+Determinism is inherited, not engineered: point functions are pure and
+seeds derive from configs, so any worker may compute any point -- even
+twice, when a presumed-dead worker turns out to be merely slow -- and
+the codec bytes that come back are identical.  Results therefore land
+in the :class:`~repro.exec.cache.ResultCache` byte-identical to the
+serial executor's, regardless of worker count, completion order, or
+mid-sweep worker crashes (the executor-parity goldens pin this).
+
+Worker loss is detected two ways: the worker's socket EOF (instant, the
+SIGKILL path) and heartbeat expiry (a hung-but-connected worker).
+Either way its in-flight tasks are requeued with exponential backoff,
+at most :attr:`DistributedExecutor.max_retries` times per task before
+the point is reported as failed.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.exec.backends import (
+    EXECUTORS,
+    Executor,
+    PointTask,
+    PointTelemetry,
+    TaskResult,
+    TelemetryEnvelope,
+    _payload_digest,
+    default_parallelism,
+)
+from repro.exec.codec import CodecError, decode_result
+from repro.exec.worker import WORKER_ENV, function_reference
+from repro.runtime.registry import Registry
+from repro.runtime.supervisor import NodeSupervisor
+from repro.runtime.wire import (
+    Address,
+    FrameChannel,
+    WireError,
+    listen,
+    parse_address,
+)
+
+#: Environment variable naming the worker-daemon count for the
+#: distributed executor (the ``--workers`` CLI flag overrides it).
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable naming the hub bind address (``unix:<path>`` or
+#: ``tcp:<host>:<port>``) for multi-host sweeps; unset means a private
+#: Unix socket plus localhost auto-spawned workers.
+HUB_BIND_ENV = "REPRO_HUB_BIND"
+
+
+class WorkerSupervisor(NodeSupervisor):
+    """Spawn/kill/reap ``repro.exec.worker`` daemons (localhost mode).
+
+    Reuses the node supervisor's lifecycle machinery wholesale -- only
+    the command line and the log-redirect variable differ.  Worker
+    stdout/stderr lands in ``<name>.log`` under the log directory
+    (``REPRO_WORKER_LOG_DIR`` redirects it; the CI distributed-sweep
+    job uploads those logs on failure).
+    """
+
+    log_env = "REPRO_WORKER_LOG_DIR"
+
+    def __init__(
+        self,
+        run_dir: str,
+        hub_address: Address,
+        log_dir: str = "",
+        slots: int = 1,
+    ) -> None:
+        super().__init__(run_dir, hub_address, log_dir=log_dir)
+        self.slots = max(1, int(slots))
+
+    def build_argv(self, name: str, restore: bool = False) -> List[str]:
+        """The worker-daemon command line (``restore`` is meaningless here)."""
+        return [
+            sys.executable,
+            "-m",
+            "repro.exec.worker",
+            "--hub",
+            _format_connect_address(self.hub_address),
+            "--name",
+            name,
+            "--slots",
+            str(self.slots),
+        ]
+
+
+def _format_connect_address(address: Address) -> str:
+    """Render the address workers should *connect* to.
+
+    A hub bound to the TCP wildcard is reachable locally via loopback;
+    everything else formats as-is.
+    """
+    if isinstance(address, tuple):
+        host, port = address
+        if host in ("", "0.0.0.0", "::"):
+            host = "127.0.0.1"
+        return f"tcp:{host}:{int(port)}"
+    return f"unix:{address}"
+
+
+def _coerce_address(address: Union[Address, str, None]) -> Optional[Address]:
+    """Accept ``unix:``/``tcp:`` strings, raw paths, or tuples."""
+    if address is None or isinstance(address, tuple):
+        return address
+    if address.startswith(("unix:", "tcp:")):
+        return parse_address(address)
+    return address  # a bare Unix-socket path
+
+
+class SweepHub:
+    """The hub's dispatch state machine (no I/O, fully lock-guarded).
+
+    Tracks the pending queue, per-worker in-flight assignments, per-task
+    attempt counts and retry backoff deadlines; produces the reply for
+    every ``next`` request and absorbs every ``result``/loss event.
+    """
+
+    def __init__(
+        self,
+        tasks: List[PointTask],
+        max_retries: int = 3,
+        retry_base_delay: float = 0.05,
+        retry_max_delay: float = 1.0,
+    ) -> None:
+        self.tasks: Dict[int, PointTask] = {t.index: t for t in tasks}
+        self.max_retries = max(0, int(max_retries))
+        self.retry_base_delay = retry_base_delay
+        self.retry_max_delay = retry_max_delay
+        self.queue: deque = deque(sorted(self.tasks))
+        self.not_before: Dict[int, float] = {}
+        self.attempts: Dict[int, int] = {i: 0 for i in self.tasks}
+        self.assigned: Dict[str, Set[int]] = {}
+        self.completed: Set[int] = set()
+        self.slots: Dict[str, int] = {}
+        self.lost: Set[str] = set()
+        self._lock = threading.Lock()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Every task delivered (computed, or failed out of retries)."""
+        with self._lock:
+            return len(self.completed) == len(self.tasks)
+
+    def capacity(self) -> int:
+        """Advertised-slot capacity of the currently registered workers."""
+        with self._lock:
+            slots = list(self.slots.values())
+        return default_parallelism(len(self.tasks), remote_slots=slots)
+
+    def inflight(self) -> Dict[str, List[int]]:
+        """Worker name -> sorted in-flight task indices (for tests/kill)."""
+        with self._lock:
+            return {
+                name: sorted(indices)
+                for name, indices in self.assigned.items() if indices
+            }
+
+    # -- protocol events -----------------------------------------------------
+
+    def register(self, name: str, slots: int) -> None:
+        """A worker said hello (re-registration replaces the old entry)."""
+        with self._lock:
+            self.slots[name] = max(1, int(slots))
+            self.lost.discard(name)
+            self.assigned.setdefault(name, set())
+
+    def next_task(self, name: str, now: float
+                  ) -> Tuple[str, Dict[str, Any]]:
+        """Answer one ``next`` request: ``task``, ``wait`` or ``bye``."""
+        with self._lock:
+            if name in self.lost:
+                # The registry declared this worker dead and its tasks
+                # were requeued; a zombie asking for more work is told
+                # to go away rather than silently re-admitted.
+                return "bye", {}
+            if len(self.completed) == len(self.tasks):
+                return "bye", {}
+            soonest: Optional[float] = None
+            for _ in range(len(self.queue)):
+                index = self.queue.popleft()
+                if index in self.completed:
+                    continue  # stale entry left by a duplicate result
+                deadline = self.not_before.get(index, 0.0)
+                if deadline > now:
+                    self.queue.append(index)
+                    soonest = (deadline if soonest is None
+                               else min(soonest, deadline))
+                    continue
+                self.assigned.setdefault(name, set()).add(index)
+                task = self.tasks[index]
+                return "task", {
+                    "index": index,
+                    "label": task.label,
+                    "config": task.config,
+                    "seed": task.seed,
+                    "fn": function_reference(task.run_point),
+                    "attempt": self.attempts[index],
+                }
+            delay = 0.05 if soonest is None else max(0.01, soonest - now)
+            return "wait", {"delay": round(min(delay, 0.25), 4)}
+
+    def complete(self, name: str, body: Dict[str, Any]
+                 ) -> Optional[Tuple[TaskResult, Optional[bytes]]]:
+        """Absorb one ``result`` frame; ``None`` for duplicates.
+
+        Returns the runner-facing result triple plus the canonical
+        codec bytes (for the cache's no-re-encode path).  A torn blob
+        (digest mismatch) or undecodable payload raises
+        :class:`~repro.exec.codec.CodecError`; the caller treats the
+        worker as faulty and requeues, exactly like a connection loss.
+        """
+        index = int(body["index"])
+        ok = bool(body.get("ok"))
+        blob: Optional[bytes] = None
+        payload: Any
+        if ok:
+            blob = bytes(body.get("blob") or b"")
+            if _payload_digest(blob) != body.get("digest"):
+                raise CodecError(
+                    f"task {index}: result payload digest mismatch from "
+                    f"worker {name!r}"
+                )
+            payload = decode_result(blob)
+        else:
+            payload = str(body.get("error", ""))
+        with self._lock:
+            if index not in self.tasks or index in self.completed:
+                return None  # duplicate after a spurious requeue
+            self.completed.add(index)
+            self.assigned.get(name, set()).discard(index)
+            retries = self.attempts[index]
+        telemetry = PointTelemetry(
+            wall_s=float(body.get("wall_s", 0.0)),
+            peak_rss_kb=int(body.get("peak_rss_kb", 0)),
+            events=int(body.get("events", 0)),
+            worker=name,
+            retries=retries,
+        )
+        return (index, ok, TelemetryEnvelope(payload, telemetry)), blob
+
+    def lose(self, name: str, now: float
+             ) -> Tuple[List[TaskResult], int]:
+        """A worker died: requeue its in-flight tasks with backoff.
+
+        Returns ``(failure triples, requeued count)`` -- failures are
+        tasks whose retry budget is exhausted; they complete the sweep
+        as attributable point failures rather than hanging it.
+        """
+        failures: List[TaskResult] = []
+        requeued = 0
+        with self._lock:
+            if name in self.lost:
+                return [], 0
+            self.lost.add(name)
+            self.slots.pop(name, None)
+            indices = sorted(self.assigned.pop(name, ()))
+            for index in indices:
+                if index in self.completed:
+                    continue
+                self.attempts[index] += 1
+                if self.attempts[index] > self.max_retries:
+                    self.completed.add(index)
+                    label = self.tasks[index].label
+                    telemetry = PointTelemetry(
+                        wall_s=0.0, worker=name,
+                        retries=self.attempts[index] - 1,
+                    )
+                    failures.append((index, False, TelemetryEnvelope(
+                        f"point {label!r} lost with worker {name!r}; "
+                        f"{self.max_retries} retries exhausted",
+                        telemetry,
+                    )))
+                else:
+                    delay = min(
+                        self.retry_base_delay
+                        * (2 ** (self.attempts[index] - 1)),
+                        self.retry_max_delay,
+                    )
+                    self.not_before[index] = now + delay
+                    self.queue.append(index)
+                    requeued += 1
+        return failures, requeued
+
+
+class DistributedExecutor(Executor):
+    """Evaluate points on worker daemons over the wire layer.
+
+    ``workers`` is the localhost auto-spawn count (``None`` consults
+    the ``REPRO_WORKERS`` environment variable, then falls back to the
+    runner's worker count; ``0`` spawns nothing and requires
+    ``address`` plus externally launched workers).  ``address`` binds
+    the hub to a fixed ``unix:``/``tcp:`` endpoint for multi-host
+    sweeps; by default the hub binds a private Unix socket in a
+    throwaway run directory, so single-machine users get the
+    multi-host-shaped path with zero setup.
+
+    Transport accounting is always on: ``stats.wire_bytes`` (framed
+    socket bytes, both directions), ``stats.retries`` (task
+    re-dispatches after worker loss), and per-worker attribution in
+    :attr:`worker_points` / :attr:`worker_retries` and each point's
+    :class:`~repro.exec.backends.PointTelemetry`.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        collect_stats: bool = False,
+        workers: Optional[int] = None,
+        address: Union[Address, str, None] = None,
+        max_retries: int = 3,
+        retry_base_delay: float = 0.05,
+        heartbeat_ttl: float = 2.0,
+        worker_timeout: float = 60.0,
+        slots_per_worker: int = 1,
+    ) -> None:
+        super().__init__(collect_stats)
+        if workers is None:
+            env = os.environ.get(WORKERS_ENV)
+            workers = int(env) if env else None
+        if address is None:
+            env_bind = os.environ.get(HUB_BIND_ENV)
+            address = parse_address(env_bind) if env_bind else None
+        self.workers = workers
+        self.address = _coerce_address(address)
+        if self.workers == 0 and self.address is None:
+            raise ValueError(
+                "DistributedExecutor(workers=0) needs an address for "
+                "external workers to connect to"
+            )
+        self.max_retries = max_retries
+        self.retry_base_delay = retry_base_delay
+        self.heartbeat_ttl = heartbeat_ttl
+        self.worker_timeout = worker_timeout
+        self.slots_per_worker = max(1, int(slots_per_worker))
+        #: Per-worker delivered-point and retry counts of the last run.
+        self.worker_points: Dict[str, int] = {}
+        self.worker_retries: Dict[str, int] = {}
+        #: Advertised-slot capacity observed during the last run.
+        self.remote_capacity = 0
+        # Per-run I/O state (rebuilt by _serve).
+        self._hub: Optional[SweepHub] = None
+        self._supervisor: Optional[WorkerSupervisor] = None
+
+    # -- run -----------------------------------------------------------------
+
+    def run(self, tasks: List[PointTask], workers: int = 1
+            ) -> Iterator[TaskResult]:
+        """Serve the sweep's work queue; yield results as they land."""
+        if os.environ.get(WORKER_ENV):
+            # A worker resolving a point function imports the sweep
+            # script's module; without this refusal an unguarded script
+            # would re-run its sweep on import, forking without bound.
+            raise RuntimeError(
+                "refusing to start a distributed sweep inside a sweep "
+                "worker; put the sweep behind 'if __name__ == "
+                "\"__main__\":' in the script that defines it"
+            )
+        self._reset_stats(tasks)
+        self.worker_points = {}
+        self.worker_retries = {}
+        self.remote_capacity = 0
+        if not tasks:
+            return iter(())
+        if workers == 0:
+            workers = default_parallelism(len(tasks))
+        spawn = self.workers if self.workers is not None else workers
+        spawn = max(0, min(spawn, len(tasks)))
+        if self.address is None and spawn == 0:
+            spawn = 1  # a private-socket hub with no workers would hang
+        return self._serve(list(tasks), spawn)
+
+    # -- test/kill introspection ---------------------------------------------
+
+    def inflight(self) -> Dict[str, List[int]]:
+        """Worker name -> in-flight task indices (empty when not running)."""
+        hub = self._hub
+        return hub.inflight() if hub is not None else {}
+
+    def worker_pid(self, name: str) -> int:
+        """PID of an auto-spawned worker (KeyError when unknown)."""
+        if self._supervisor is None:
+            raise KeyError(name)
+        return self._supervisor.pid(name)
+
+    # -- serving -------------------------------------------------------------
+
+    def _serve(self, tasks: List[PointTask], spawn: int
+               ) -> Iterator[TaskResult]:
+        hub = SweepHub(tasks, max_retries=self.max_retries,
+                       retry_base_delay=self.retry_base_delay)
+        registry = Registry(ttl=self.heartbeat_ttl)
+        results: "queue.Queue" = queue.Queue()
+        stop = threading.Event()
+        channels: List[FrameChannel] = []
+        channel_by_name: Dict[str, FrameChannel] = {}
+        lock = threading.Lock()
+        run_dir = tempfile.mkdtemp(prefix="repro-sweep-hub-")
+        address: Address = (
+            os.path.join(run_dir, "hub.sock")
+            if self.address is None else self.address
+        )
+        state = {
+            "last_progress": time.monotonic(),
+            "respawns": spawn,  # replacement budget in auto-spawn mode
+            "next_worker": spawn,
+        }
+        self._hub = hub
+
+        def lose_worker(name: str) -> None:
+            now = time.monotonic()
+            failures, requeued = hub.lose(name, now)
+            registry.deregister(name)
+            with lock:
+                channel_by_name.pop(name, None)
+                self.stats.retries += requeued
+                if requeued:
+                    self.worker_retries[name] = (
+                        self.worker_retries.get(name, 0) + requeued
+                    )
+            for triple in failures:
+                results.put(("triple", triple, None))
+
+        def reader(channel: FrameChannel) -> None:
+            name: Optional[str] = None
+            try:
+                while not stop.is_set():
+                    frame = channel.recv()
+                    if frame is None:
+                        break
+                    kind, body = frame
+                    if kind == "hello":
+                        name = str(body["node"])
+                        slots = int(body.get("slots", 1))
+                        hub.register(name, slots)
+                        registry.register(
+                            name, int(body.get("pid", 0)), conn=channel,
+                            now=time.monotonic(), slots=slots,
+                        )
+                        with lock:
+                            channel_by_name[name] = channel
+                            state["last_progress"] = time.monotonic()
+                            self.remote_capacity = hub.capacity()
+                        channel.send(
+                            "welcome", node=name,
+                            paths=[p or os.getcwd() for p in sys.path],
+                        )
+                    elif name is None:
+                        continue  # pre-hello chatter from a confused peer
+                    elif kind == "heartbeat":
+                        registry.beat(name, time.monotonic())
+                    elif kind == "next":
+                        kind_out, body_out = hub.next_task(
+                            name, time.monotonic()
+                        )
+                        channel.send(kind_out, **body_out)
+                    elif kind == "result":
+                        registry.beat(name, time.monotonic())
+                        delivered = hub.complete(name, body)
+                        if delivered is None:
+                            continue
+                        triple, blob = delivered
+                        with lock:
+                            state["last_progress"] = time.monotonic()
+                            self.worker_points[name] = (
+                                self.worker_points.get(name, 0) + 1
+                            )
+                            if blob is not None:
+                                self.stats.payload_bytes += len(blob)
+                        results.put(("triple", triple, blob))
+                    elif kind == "bye":
+                        break
+            except (WireError, CodecError, KeyError, TypeError, ValueError):
+                # A faulty or corrupt worker is handled like a dead one:
+                # drop the connection, requeue its tasks.
+                pass
+            finally:
+                if name is not None:
+                    lose_worker(name)
+                channel.close()
+
+        def accept_loop(listener) -> None:
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except socket_timeout_errors:
+                    continue
+                except OSError:
+                    return  # listener closed during shutdown
+                channel = FrameChannel(conn)
+                with lock:
+                    channels.append(channel)
+                threading.Thread(
+                    target=reader, args=(channel,),
+                    name="repro-hub-reader", daemon=True,
+                ).start()
+
+        import socket as _socket
+        socket_timeout_errors = (_socket.timeout, TimeoutError)
+
+        listener = listen(address)
+        listener.settimeout(0.2)
+        if isinstance(address, tuple):
+            address = listener.getsockname()[:2]  # resolve port 0
+        supervisor: Optional[WorkerSupervisor] = None
+        if spawn:
+            supervisor = WorkerSupervisor(
+                run_dir, address, slots=self.slots_per_worker
+            )
+            self._supervisor = supervisor
+            for i in range(spawn):
+                supervisor.spawn(f"w{i}")
+        acceptor = threading.Thread(
+            target=accept_loop, args=(listener,),
+            name="repro-hub-accept", daemon=True,
+        )
+        acceptor.start()
+
+        def tick() -> None:
+            """Idle-loop maintenance: expiry, respawn, hang detection."""
+            now = time.monotonic()
+            for name in registry.expire(now):
+                with lock:
+                    channel = channel_by_name.get(name)
+                if channel is not None:
+                    channel.close()  # unblocks its reader -> lose_worker
+                else:
+                    lose_worker(name)
+            if hub.done:
+                return
+            if supervisor is not None and not registry.names():
+                if not supervisor.live_pids():
+                    with lock:
+                        budget = state["respawns"]
+                        state["respawns"] = max(0, budget - 1)
+                        worker_id = state["next_worker"]
+                        state["next_worker"] += 1
+                    if budget <= 0:
+                        raise WireError(
+                            "distributed sweep: every spawned worker "
+                            f"exited (logs under {supervisor.log_dir!r})"
+                        )
+                    supervisor.spawn(f"w{worker_id}")
+                    with lock:
+                        state["last_progress"] = time.monotonic()
+            with lock:
+                stalled = now - state["last_progress"]
+            if not registry.names() and stalled > self.worker_timeout:
+                raise WireError(
+                    f"distributed sweep: no workers connected for "
+                    f"{self.worker_timeout:.0f}s"
+                )
+
+        try:
+            delivered = 0
+            while delivered < len(tasks):
+                try:
+                    _, triple, blob = results.get(timeout=0.1)
+                except queue.Empty:
+                    tick()
+                    continue
+                index = triple[0]
+                if blob is not None and self.retain_encoded:
+                    self.encoded_payloads[index] = blob
+                delivered += 1
+                yield self._count(triple)
+        finally:
+            stop.set()
+            with lock:
+                open_channels = list(channels)
+            for channel in open_channels:
+                try:
+                    channel.send("bye")
+                except WireError:
+                    pass
+            try:
+                listener.close()
+            except OSError:
+                pass
+            if supervisor is not None:
+                supervisor.shutdown()
+            for channel in open_channels:
+                channel.close()
+            acceptor.join(timeout=1.0)
+            with lock:
+                self.stats.wire_bytes = sum(
+                    ch.sent_bytes + ch.recv_bytes for ch in channels
+                )
+            self._hub = None
+            self._supervisor = None
+            if isinstance(address, str) and os.path.exists(address):
+                try:
+                    os.unlink(address)
+                except OSError:
+                    pass
+            shutil.rmtree(run_dir, ignore_errors=True)
+
+
+#: Registered on import (``repro.exec`` imports this module), so the
+#: name is selectable wherever the serial/pool executors are.
+EXECUTORS[DistributedExecutor.name] = DistributedExecutor

@@ -171,11 +171,14 @@ def run_sweep(
         wall = telemetry.wall_s if telemetry is not None else 0.0
         rss = telemetry.peak_rss_kb if telemetry is not None else 0
         events = telemetry.events if telemetry is not None else 0
+        retries = telemetry.retries if telemetry is not None else 0
+        worker = telemetry.worker if telemetry is not None else ""
         if not ok:
             failures[index] = payload
             entry = point_record(
                 spec.name, point.label, "failed", "miss", chosen.name,
-                wall, peak_rss_kb=rss, events=events, error=str(payload),
+                wall, peak_rss_kb=rss, events=events, retries=retries,
+                worker=worker, error=str(payload),
             )
             failure_entries[index] = entry
             if manifest is not None:
@@ -185,7 +188,8 @@ def run_sweep(
         if manifest is not None:
             manifest.record(point_record(
                 spec.name, point.label, "ok", "miss", chosen.name,
-                wall, peak_rss_kb=rss, events=events,
+                wall, peak_rss_kb=rss, events=events, retries=retries,
+                worker=worker,
             ))
         if cache is not None:
             blob = chosen.encoded_payloads.pop(index, None)

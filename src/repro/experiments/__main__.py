@@ -15,9 +15,10 @@ Every experiment accepts ``--cache-dir`` (on-disk result cache keyed by
 config hash + code version; stale code-fingerprint trees are evicted on
 startup, ``--cache-clear`` wipes the cache entirely); sweep-shaped
 experiments also accept ``--parallel`` (worker-pool size; 0 means one
-worker per CPU) and ``--executor`` (serial, process-pool, or
-shared-memory -- the result-transport mechanism).  Results are
-bit-identical at any parallelism under every executor.
+worker per CPU), ``--executor`` (serial, process-pool, shared-memory,
+or distributed -- the result-transport mechanism) and ``--workers``
+(daemon count for the distributed executor).  Results are bit-identical
+at any parallelism under every executor.
 """
 
 from __future__ import annotations

@@ -123,6 +123,17 @@ def _print_summary(summary: Dict[str, Any]) -> None:
             for executor, count in sorted(stats["executors"].items())
         )
         print(f"  executors: {executors}")
+        if stats.get("workers"):
+            # Distributed sweeps: per-daemon point counts and retries.
+            workers = ", ".join(
+                f"{name}({entry['points']} points, "
+                f"{entry['retries']} retries)"
+                for name, entry in sorted(stats["workers"].items())
+            )
+            print(f"  workers: {workers}")
+        if stats.get("retries"):
+            print(f"  retries: {stats['retries']} task re-dispatches "
+                  "after worker loss")
         if stats["slowest"]:
             print("  slowest computed points:")
             for label, wall in stats["slowest"]:

@@ -59,9 +59,15 @@ def point_record(
     peak_rss_kb: int = 0,
     events: int = 0,
     retries: int = 0,
+    worker: str = "",
     error: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Build one ``point`` manifest record (plain dict, JSON-ready)."""
+    """Build one ``point`` manifest record (plain dict, JSON-ready).
+
+    ``worker`` names the remote daemon that computed the point under
+    the distributed executor; the key is emitted only when set, so
+    local-executor manifests are unchanged.
+    """
     record: Dict[str, Any] = {
         "rec": "point",
         "spec": spec,
@@ -74,6 +80,8 @@ def point_record(
         "events": int(events),
         "retries": int(retries),
     }
+    if worker:
+        record["worker"] = str(worker)
     if error is not None:
         record["error"] = error
     return record
@@ -199,6 +207,9 @@ def validate_manifest(records: List[Dict[str, Any]]) -> List[str]:
             if record.get("cache") not in ("hit", "miss"):
                 errors.append(f"line {line}: bad cache tag "
                               f"{record.get('cache')!r}")
+            if "worker" in record and not isinstance(record["worker"], str):
+                errors.append(f"line {line}: key 'worker' has wrong type "
+                              f"{type(record['worker']).__name__}")
         elif kind == "run":
             errors.extend(
                 f"line {line}: {problem}"
@@ -219,8 +230,10 @@ def summarize_manifest(
     Returns ``{"specs": {spec: stats}, "records": total}`` where each
     stats dict carries point counts (hits / computed / failed), wall
     time totals, peak RSS, traced-event totals, per-executor point
-    counts, the ``slowest`` computed points and every failure.  Only
-    ``point`` records contribute; ``run`` records are invocation logs.
+    counts, retry totals, per-worker attribution (``workers``: daemon
+    name -> point/retry counts, filled by distributed sweeps), the
+    ``slowest`` computed points and every failure.  Only ``point``
+    records contribute; ``run`` records are invocation logs.
     """
     specs: Dict[str, Dict[str, Any]] = {}
     total = 0
@@ -236,8 +249,8 @@ def summarize_manifest(
         stats = specs.setdefault(name, {
             "points": 0, "hits": 0, "computed": 0, "failed": 0,
             "wall_total_s": 0.0, "wall_max_s": 0.0,
-            "peak_rss_kb": 0, "events": 0,
-            "executors": {}, "slowest": [], "failures": [],
+            "peak_rss_kb": 0, "events": 0, "retries": 0,
+            "executors": {}, "workers": {}, "slowest": [], "failures": [],
         })
         stats["points"] += 1
         wall = float(record.get("wall_s", 0.0))
@@ -251,6 +264,15 @@ def summarize_manifest(
         stats["executors"][executor] = (
             stats["executors"].get(executor, 0) + 1
         )
+        retries = int(record.get("retries", 0))
+        stats["retries"] += retries
+        worker = record.get("worker")
+        if worker:
+            entry = stats["workers"].setdefault(
+                worker, {"points": 0, "retries": 0}
+            )
+            entry["points"] += 1
+            entry["retries"] += retries
         if record.get("cache") == "hit":
             stats["hits"] += 1
         else:

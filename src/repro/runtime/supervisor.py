@@ -20,14 +20,24 @@ import os
 import signal
 import subprocess
 import sys
-from typing import IO, Any, Dict
+from typing import IO, Any, Dict, List
 
-from repro.exec.codec import encode_result
 from repro.runtime.wire import Address, format_address
 
 
 class NodeSupervisor:
-    """Spawn, kill, restart and reap ``repro.runtime.node`` processes."""
+    """Spawn, kill, restart and reap ``repro.runtime.node`` processes.
+
+    The lifecycle machinery (per-child log files, SIGKILL-and-reap,
+    terminate-then-kill shutdown) is child-agnostic; subclasses that
+    supervise a different daemon override :attr:`log_env` and
+    :meth:`build_argv` (the sweep-worker supervisor in
+    :mod:`repro.exec.distributed` does exactly that).
+    """
+
+    #: Environment variable redirecting the per-child log directory;
+    #: the CI soak jobs use it to upload child logs on failure.
+    log_env = "REPRO_SOCKET_LOG_DIR"
 
     def __init__(
         self,
@@ -38,7 +48,7 @@ class NodeSupervisor:
         self.run_dir = run_dir
         self.hub_address = hub_address
         self.log_dir = (
-            log_dir or os.environ.get("REPRO_SOCKET_LOG_DIR") or run_dir
+            log_dir or os.environ.get(self.log_env) or run_dir
         )
         os.makedirs(self.run_dir, exist_ok=True)
         os.makedirs(self.log_dir, exist_ok=True)
@@ -64,6 +74,11 @@ class NodeSupervisor:
 
     def write_spec(self, name: str, spec: Dict[str, Any]) -> str:
         """Persist the node spec; returns its path."""
+        # Imported here, not at module level: repro.exec's own init
+        # imports this module (via the distributed executor's worker
+        # supervisor), so the back-edge must stay lazy.
+        from repro.exec.codec import encode_result
+
         path = self.spec_path(name)
         with open(path, "wb") as fh:
             fh.write(encode_result(spec))
@@ -71,12 +86,8 @@ class NodeSupervisor:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def spawn(self, name: str, restore: bool = False) -> subprocess.Popen:
-        """Start the node process for ``name`` (spec must be written).
-
-        ``restore=True`` passes the node its checkpoint file so the
-        re-spawned process resumes as the same replica.
-        """
+    def build_argv(self, name: str, restore: bool = False) -> List[str]:
+        """The child-process command line for ``name``."""
         argv = [
             sys.executable,
             "-m",
@@ -90,6 +101,15 @@ class NodeSupervisor:
         ]
         if restore:
             argv += ["--restore", self.checkpoint_path(name)]
+        return argv
+
+    def spawn(self, name: str, restore: bool = False) -> subprocess.Popen:
+        """Start the child process for ``name`` (spec must be written).
+
+        ``restore=True`` passes the node its checkpoint file so the
+        re-spawned process resumes as the same replica.
+        """
+        argv = self.build_argv(name, restore=restore)
         env = dict(os.environ)
         src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
         existing = env.get("PYTHONPATH")

@@ -9,14 +9,21 @@ pickle-frame fallback, so the one deterministic codec from the sweep
 transport is also the wire format here (ROADMAP: one wire layer, two
 uses).
 
-Frame kinds (the complete vocabulary):
+Frame kinds (the complete vocabulary; the store runtime and the
+distributed sweep executor share the handshake/liveness frames):
 
-- ``hello`` / ``welcome`` -- node registration handshake (name + pid);
+- ``hello`` / ``welcome`` -- node registration handshake (name + pid;
+  sweep workers additionally advertise their ``slots`` capacity);
 - ``data`` -- one datagram (src, dst, payload, size, reliability class);
 - ``trace`` -- one coherence-trace event, streamed eagerly so a node's
   history survives a SIGKILL;
 - ``call`` / ``reply`` -- hub-to-node RPC (version probes, subscribe,
   shutdown-adjacent control), correlated by ``call_id``;
+- ``next`` / ``task`` / ``wait`` -- pull-based sweep dispatch: an idle
+  worker requests work, the hub answers with one task or a backoff
+  delay (:mod:`repro.exec.distributed` / :mod:`repro.exec.worker`);
+- ``result`` -- one finished sweep point: codec-encoded payload bytes
+  (digest-protected) plus worker-side telemetry;
 - ``heartbeat`` -- node liveness beats for the registry;
 - ``bye`` -- orderly goodbye before close.
 
@@ -36,7 +43,11 @@ import threading
 import time
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
-from repro.exec.codec import decode_result, encode_result
+# NOTE: repro.exec.codec is imported inside send/recv, not here.  The
+# exec package's own init imports this module (via the distributed
+# executor), so a module-level import back into repro.exec would make
+# the two packages' initialization order matter; the function-level
+# import is a sys.modules hit after the first frame.
 
 #: 4-byte big-endian frame length prefix.
 _HEADER = struct.Struct(">I")
@@ -153,9 +164,16 @@ class FrameChannel:
         self.sock = sock
         self._send_lock = threading.Lock()
         self._closed = False
+        #: Framed bytes written/read on this channel (headers included).
+        #: The distributed sweep executor folds these into its
+        #: ``wire_bytes`` transport accounting; counters survive close.
+        self.sent_bytes = 0
+        self.recv_bytes = 0
 
     def send(self, kind: str, **body: Any) -> None:
         """Encode and write one ``kind`` frame; raises on a dead peer."""
+        from repro.exec.codec import encode_result
+
         blob = encode_result({"kind": kind, "body": body})
         if len(blob) > MAX_FRAME_BYTES:
             raise WireError(f"frame {kind!r} exceeds {MAX_FRAME_BYTES} bytes")
@@ -166,9 +184,12 @@ class FrameChannel:
                 self.sock.sendall(_HEADER.pack(len(blob)) + blob)
             except OSError as exc:
                 raise WireError(f"peer gone while sending {kind!r}") from exc
+            self.sent_bytes += _HEADER.size + len(blob)
 
     def recv(self) -> Optional[Tuple[str, Dict[str, Any]]]:
         """Read one frame; ``None`` on EOF (peer closed or was killed)."""
+        from repro.exec.codec import decode_result
+
         header = _recv_exact(self.sock, _HEADER.size)
         if header is None:
             return None
@@ -178,6 +199,7 @@ class FrameChannel:
         blob = _recv_exact(self.sock, length)
         if blob is None:
             return None
+        self.recv_bytes += _HEADER.size + length
         frame = decode_result(blob)
         return frame["kind"], frame["body"]
 

@@ -1,0 +1,489 @@
+"""Tests for the distributed sweep executor (``repro.exec.distributed``).
+
+Three layers, separately:
+
+- :class:`SweepHub` is driven directly -- the wire protocol's dispatch
+  semantics (task/wait/bye replies, duplicate suppression, bounded
+  retry-with-backoff on worker loss) without any sockets;
+- one real :class:`~repro.exec.worker.WorkerRuntime` is driven over a
+  socketpair by a scripted hub -- the worker side of the
+  hello/next/task/result/heartbeat framing;
+- full sweeps run against auto-spawned worker processes, including the
+  headline fault test: SIGKILL a worker mid-sweep and the sweep still
+  completes with a cache tree byte-identical to the serial executor's,
+  the retry attributed in the run manifest.
+
+Point functions live at module level because workers import them by
+reference.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exec import (
+    ResultCache,
+    SweepSpec,
+    default_parallelism,
+    run_sweep,
+)
+from repro.exec.codec import CodecError, decode_result
+from repro.exec.distributed import (
+    DistributedExecutor,
+    SweepHub,
+    WorkerSupervisor,
+)
+from repro.exec.backends import PointTask, _payload_digest
+from repro.exec.worker import (
+    WorkerRuntime,
+    function_reference,
+    load_function,
+)
+from repro.exec.codec import encode_result
+from repro.obs.cli import main as obs_main
+from repro.obs.manifest import (
+    load_manifest,
+    point_record,
+    summarize_manifest,
+    validate_manifest,
+)
+from repro.runtime.wire import FrameChannel
+
+
+def grid_point(config, seed):
+    """Pure, deterministic: exact binary fractions of config and seed."""
+    n = config["n"]
+    base = seed % (1 << 16)
+    return {
+        "n": n,
+        "seed": seed,
+        "samples": [(base + i * n) / 32.0 for i in range(24)],
+        "sum": sum((base + i * n) for i in range(24)),
+    }
+
+
+def gated_point(config, seed):
+    """Blocks while ``config["gate"]`` names a missing file.
+
+    The payload is a pure function of config and seed -- the gate only
+    shapes *timing*, so a retried evaluation returns identical bytes.
+    """
+    gate = config.get("gate")
+    if gate:
+        deadline = time.time() + 30.0
+        while not os.path.exists(gate) and time.time() < deadline:
+            time.sleep(0.02)
+    return grid_point(config, seed)
+
+
+def _hub_tasks(count):
+    return [
+        PointTask(run_point=grid_point, index=i, label=f"n={i}",
+                  config={"n": i}, seed=1000 + i)
+        for i in range(count)
+    ]
+
+
+class TestSweepHubProtocol:
+    def test_next_task_dispatches_in_index_order(self):
+        hub = SweepHub(_hub_tasks(3))
+        hub.register("w0", slots=1)
+        kind, body = hub.next_task("w0", now=0.0)
+        assert kind == "task"
+        assert body["index"] == 0
+        assert body["label"] == "n=0"
+        assert body["config"] == {"n": 0}
+        assert body["seed"] == 1000
+        assert body["attempt"] == 0
+        ref = body["fn"]
+        assert ref["qualname"] == "grid_point"
+        assert load_function(ref) is grid_point
+
+    def test_wait_when_everything_is_in_flight(self):
+        hub = SweepHub(_hub_tasks(1))
+        hub.register("w0", slots=1)
+        hub.register("w1", slots=1)
+        assert hub.next_task("w0", now=0.0)[0] == "task"
+        kind, body = hub.next_task("w1", now=0.0)
+        assert kind == "wait"
+        assert body["delay"] > 0
+
+    def test_result_completes_and_attributes_the_point(self):
+        hub = SweepHub(_hub_tasks(1))
+        hub.register("w0", slots=1)
+        _, body = hub.next_task("w0", now=0.0)
+        blob = encode_result(grid_point(body["config"], body["seed"]))
+        delivered = hub.complete("w0", {
+            "index": 0, "ok": True, "blob": blob,
+            "digest": _payload_digest(blob), "wall_s": 0.25,
+            "peak_rss_kb": 10, "events": 0,
+        })
+        assert delivered is not None
+        (index, ok, envelope), returned = delivered
+        assert (index, ok) == (0, True)
+        assert returned == blob
+        assert envelope.telemetry.worker == "w0"
+        assert envelope.telemetry.retries == 0
+        assert envelope.payload == grid_point({"n": 0}, 1000)
+        assert hub.done
+        assert hub.next_task("w0", now=1.0)[0] == "bye"
+
+    def test_duplicate_result_is_suppressed(self):
+        hub = SweepHub(_hub_tasks(1))
+        hub.register("w0", slots=1)
+        hub.next_task("w0", now=0.0)
+        blob = encode_result(grid_point({"n": 0}, 1000))
+        frame = {"index": 0, "ok": True, "blob": blob,
+                 "digest": _payload_digest(blob)}
+        assert hub.complete("w0", dict(frame)) is not None
+        assert hub.complete("w0", dict(frame)) is None
+
+    def test_torn_result_blob_is_rejected(self):
+        hub = SweepHub(_hub_tasks(1))
+        hub.register("w0", slots=1)
+        hub.next_task("w0", now=0.0)
+        blob = encode_result(grid_point({"n": 0}, 1000))
+        with pytest.raises(CodecError):
+            hub.complete("w0", {"index": 0, "ok": True, "blob": blob,
+                                "digest": "0" * 8})
+
+    def test_worker_loss_requeues_with_backoff(self):
+        hub = SweepHub(_hub_tasks(2), retry_base_delay=0.5)
+        hub.register("w0", slots=1)
+        _, body = hub.next_task("w0", now=0.0)
+        assert body["index"] == 0
+        failures, requeued = hub.lose("w0", now=10.0)
+        assert failures == []
+        assert requeued == 1
+        hub.register("w1", slots=1)
+        # Index 1 was never dispatched and is immediately available;
+        # index 0 is held back until its backoff deadline passes.
+        _, body = hub.next_task("w1", now=10.0)
+        assert body["index"] == 1
+        kind, _ = hub.next_task("w1", now=10.0)
+        assert kind == "wait"
+        kind, body = hub.next_task("w1", now=10.6)
+        assert kind == "task"
+        assert body["index"] == 0
+        assert body["attempt"] == 1
+
+    def test_retry_budget_exhaustion_fails_the_point(self):
+        hub = SweepHub(_hub_tasks(1), max_retries=1, retry_base_delay=0.0)
+        for round_ in range(2):
+            name = f"w{round_}"
+            hub.register(name, slots=1)
+            kind, _ = hub.next_task(name, now=float(round_))
+            assert kind == "task"
+            failures, _ = hub.lose(name, now=float(round_))
+        assert len(failures) == 1
+        index, ok, envelope = failures[0]
+        assert (index, ok) == (0, False)
+        assert "retries exhausted" in envelope.payload
+        assert envelope.telemetry.retries == 1
+        assert hub.done
+
+    def test_lost_worker_asking_again_is_told_bye(self):
+        hub = SweepHub(_hub_tasks(2))
+        hub.register("w0", slots=1)
+        hub.next_task("w0", now=0.0)
+        hub.lose("w0", now=0.0)
+        assert hub.next_task("w0", now=5.0)[0] == "bye"
+
+    def test_capacity_follows_advertised_slots(self):
+        hub = SweepHub(_hub_tasks(16))
+        assert hub.capacity() == 1  # nothing registered yet
+        hub.register("w0", slots=3)
+        hub.register("w1", slots=2)
+        assert hub.capacity() == 5
+        hub.lose("w1", now=0.0)
+        assert hub.capacity() == 3
+
+
+class TestRemoteParallelism:
+    def test_remote_slots_replace_local_cpu_count(self):
+        assert default_parallelism(remote_slots=[2, 3]) == 5
+        assert default_parallelism(task_count=4, remote_slots=[2, 3]) == 4
+        assert default_parallelism(task_count=100, remote_slots=[8]) == 8
+
+    def test_empty_or_bogus_slots_degrade_to_one(self):
+        assert default_parallelism(remote_slots=[]) == 1
+        assert default_parallelism(remote_slots=[0, -4]) == 1
+
+
+class TestFunctionReference:
+    def test_roundtrip_by_module_name(self):
+        ref = function_reference(grid_point)
+        assert ref["module"] == grid_point.__module__
+        assert load_function(ref) is grid_point
+
+    def test_local_functions_are_rejected(self):
+        def local(config, seed):
+            return None
+
+        with pytest.raises(ValueError):
+            function_reference(local)
+
+    def test_source_file_fallback_for_unimportable_modules(self, tmp_path):
+        script = tmp_path / "sweep_script.py"
+        script.write_text(
+            "def scripted_point(config, seed):\n"
+            "    return config['n'] * seed\n"
+        )
+        ref = {"module": "__main__", "qualname": "scripted_point",
+               "file": str(script)}
+        fn = load_function(ref)
+        assert fn({"n": 3}, 7) == 21
+        # Cached per path: the second load is the same module object.
+        assert load_function(ref) is fn
+
+
+class TestWorkerProtocol:
+    """Drive one real worker runtime over a socketpair, hub scripted."""
+
+    @pytest.fixture()
+    def hub_channel(self):
+        import socket
+
+        ours, theirs = socket.socketpair()
+        hub = FrameChannel(ours)
+        runtime = WorkerRuntime(FrameChannel(theirs), "wt", slots=1,
+                                heartbeat_interval=60.0)
+        thread = threading.Thread(target=runtime.run, daemon=True)
+        thread.start()
+        yield hub
+        hub.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+
+    @staticmethod
+    def _recv_skipping_heartbeats(channel):
+        while True:
+            frame = channel.recv()
+            assert frame is not None
+            if frame[0] != "heartbeat":
+                return frame
+
+    def test_hello_task_result_bye_roundtrip(self, hub_channel):
+        kind, body = self._recv_skipping_heartbeats(hub_channel)
+        assert kind == "hello"
+        assert body["node"] == "wt"
+        assert body["slots"] == 1
+        assert body["pid"] == os.getpid()
+        hub_channel.send("welcome", node="wt", paths=[])
+
+        kind, _ = self._recv_skipping_heartbeats(hub_channel)
+        assert kind == "next"
+        hub_channel.send(
+            "task", index=5, label="n=2", config={"n": 2}, seed=77,
+            fn=function_reference(grid_point), attempt=0,
+        )
+        kind, body = self._recv_skipping_heartbeats(hub_channel)
+        assert kind == "result"
+        assert body["index"] == 5
+        assert body["ok"] is True
+        assert _payload_digest(body["blob"]) == body["digest"]
+        assert decode_result(body["blob"]) == grid_point({"n": 2}, 77)
+        assert body["wall_s"] >= 0.0
+
+        # The freed slot asks again; the sweep is over.
+        kind, _ = self._recv_skipping_heartbeats(hub_channel)
+        assert kind == "next"
+        hub_channel.send("bye")
+
+    def test_wait_backs_off_and_reasks(self, hub_channel):
+        kind, _ = self._recv_skipping_heartbeats(hub_channel)
+        assert kind == "hello"
+        hub_channel.send("welcome", node="wt", paths=[])
+        kind, _ = self._recv_skipping_heartbeats(hub_channel)
+        assert kind == "next"
+        hub_channel.send("wait", delay=0.01)
+        kind, _ = self._recv_skipping_heartbeats(hub_channel)
+        assert kind == "next"
+        hub_channel.send("bye")
+
+    def test_point_failure_travels_as_error_result(self, hub_channel):
+        kind, _ = self._recv_skipping_heartbeats(hub_channel)
+        assert kind == "hello"
+        hub_channel.send("welcome", node="wt", paths=[])
+        kind, _ = self._recv_skipping_heartbeats(hub_channel)
+        assert kind == "next"
+        hub_channel.send(
+            "task", index=0, label="bad", config={}, seed=1,
+            fn={"module": "no.such.module", "qualname": "f", "file": ""},
+            attempt=0,
+        )
+        kind, body = self._recv_skipping_heartbeats(hub_channel)
+        assert kind == "result"
+        assert body["ok"] is False
+        assert "no.such.module" in body["error"]
+        hub_channel.send("bye")
+
+
+def _grid_spec(gate=None, slow_label="n=0"):
+    spec = SweepSpec(name="dist-grid", run_point=gated_point)
+    for n in range(6):
+        label = f"n={n}"
+        config = {"n": n}
+        if gate is not None and label == slow_label:
+            config["gate"] = gate
+        spec.add(label, **config)
+    return spec
+
+
+def _result_tree(root):
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in Path(root).rglob("*.res")
+    }
+
+
+class TestDistributedSweeps:
+    def test_stats_account_wire_traffic_and_attribution(self, tmp_path):
+        executor = DistributedExecutor(collect_stats=True, workers=2)
+        spec = SweepSpec(name="stats", run_point=grid_point)
+        for n in range(5):
+            spec.add(f"n={n}", n=n)
+        measured = run_sweep(spec, executor=executor)
+        assert len(measured) == 5
+        assert executor.stats.points == 5
+        assert executor.stats.failures == 0
+        assert executor.stats.wire_bytes > executor.stats.payload_bytes > 0
+        assert executor.stats.retries == 0
+        assert sum(executor.worker_points.values()) == 5
+        assert set(executor.worker_points) <= {"w0", "w1"}
+        assert executor.remote_capacity == 2
+
+    def test_refuses_recursion_inside_a_worker(self, monkeypatch):
+        from repro.exec.worker import WORKER_ENV
+
+        monkeypatch.setenv(WORKER_ENV, "1")
+        spec = SweepSpec(name="nested", run_point=grid_point)
+        spec.add("n=1", n=1)
+        with pytest.raises(RuntimeError, match="__main__"):
+            run_sweep(spec, executor=DistributedExecutor(workers=1))
+
+    def test_worker_kill_mid_sweep_is_byte_identical(self, tmp_path):
+        """SIGKILL one worker while it holds a point: the sweep must
+        complete, the cache tree must match the serial executor's byte
+        for byte, and the retry must be attributed in the manifest."""
+        gate = str(tmp_path / "gate")
+        serial_dir = tmp_path / "serial"
+        dist_dir = tmp_path / "dist"
+
+        executor = DistributedExecutor(collect_stats=True, workers=2)
+        outcome = {}
+
+        def drive():
+            try:
+                outcome["results"] = run_sweep(
+                    _grid_spec(gate=gate),
+                    cache=ResultCache(dist_dir, fingerprint="pinned"),
+                    executor=executor,
+                )
+            except BaseException as exc:  # surfaces in the main thread
+                outcome["error"] = exc
+
+        sweep = threading.Thread(target=drive)
+        sweep.start()
+        try:
+            victim = None
+            deadline = time.time() + 20.0
+            while victim is None and time.time() < deadline:
+                for name, indices in executor.inflight().items():
+                    if 0 in indices:  # n=0 is the gated point
+                        victim = name
+                        break
+                time.sleep(0.02)
+            assert victim is not None, "gated point never dispatched"
+            os.kill(executor.worker_pid(victim), signal.SIGKILL)
+        finally:
+            # Open the gate so the retried evaluation returns quickly
+            # (and so a failed dispatch above cannot hang the sweep).
+            Path(gate).touch()
+            sweep.join(timeout=60.0)
+        assert not sweep.is_alive()
+        assert "error" not in outcome, outcome.get("error")
+        assert executor.stats.retries >= 1
+
+        serial_results = run_sweep(
+            _grid_spec(gate=gate),
+            cache=ResultCache(serial_dir, fingerprint="pinned"),
+            executor="serial",
+        )
+        assert outcome["results"] == serial_results
+        dist_tree = _result_tree(dist_dir)
+        assert dist_tree == _result_tree(serial_dir)
+        assert len(dist_tree) == 6
+
+        records = load_manifest(dist_dir / "manifest.jsonl")
+        assert validate_manifest(records) == []
+        retried = [r for r in records if r.get("rec") == "point"
+                   and r.get("label") == "n=0"]
+        assert retried and retried[0]["retries"] >= 1
+        assert retried[0]["worker"] != victim  # finished elsewhere
+
+
+class TestWorkerSupervisorArgv:
+    def test_builds_worker_command_lines(self, tmp_path):
+        supervisor = WorkerSupervisor(str(tmp_path), str(tmp_path / "s"),
+                                      slots=2)
+        argv = supervisor.build_argv("w3")
+        assert argv[1:3] == ["-m", "repro.exec.worker"]
+        assert argv[argv.index("--name") + 1] == "w3"
+        assert argv[argv.index("--slots") + 1] == "2"
+        assert argv[argv.index("--hub") + 1].startswith("unix:")
+
+    def test_tcp_wildcard_bind_connects_via_loopback(self, tmp_path):
+        supervisor = WorkerSupervisor(str(tmp_path), ("0.0.0.0", 4242))
+        argv = supervisor.build_argv("w0")
+        assert argv[argv.index("--hub") + 1] == "tcp:127.0.0.1:4242"
+
+
+class TestWorkerAttributionSurfaces:
+    def _records(self):
+        return [
+            point_record("grid", "n=0", "ok", "miss", "distributed",
+                         0.5, worker="w0", retries=1),
+            point_record("grid", "n=1", "ok", "miss", "distributed",
+                         0.25, worker="w1"),
+            point_record("grid", "n=2", "ok", "miss", "distributed",
+                         0.25, worker="w0"),
+            point_record("grid", "n=3", "ok", "hit", "distributed", 0.001),
+        ]
+
+    def test_point_record_emits_worker_only_when_set(self):
+        assert point_record("s", "l", "ok", "miss", "serial", 0.1).get(
+            "worker") is None
+        assert point_record("s", "l", "ok", "miss", "distributed", 0.1,
+                            worker="w7")["worker"] == "w7"
+
+    def test_summarize_aggregates_per_worker(self):
+        stats = summarize_manifest(self._records())["specs"]["grid"]
+        assert stats["retries"] == 1
+        assert stats["workers"] == {
+            "w0": {"points": 2, "retries": 1},
+            "w1": {"points": 1, "retries": 0},
+        }
+
+    def test_obs_summary_prints_worker_attribution(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.jsonl"
+        manifest.write_text("".join(
+            json.dumps(record) + "\n" for record in self._records()
+        ))
+        assert obs_main(["summary", "--manifest", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "workers: w0(2 points, 1 retries), w1(1 points, 0 retries)" \
+            in out
+        assert "retries: 1 task re-dispatches" in out
+
+    def test_validate_rejects_non_string_worker(self):
+        record = point_record("s", "l", "ok", "miss", "distributed", 0.1,
+                              worker="w0")
+        record["worker"] = 7
+        errors = validate_manifest([record])
+        assert any("worker" in error for error in errors)
