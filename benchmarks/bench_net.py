@@ -1,0 +1,233 @@
+"""Network fast-lane benchmark: datagrams/sec through the event path.
+
+Measures the per-datagram overhead of :class:`repro.net.network.Network`
+-- the layer the event-path fast lane optimizes -- and pins the lane's
+correctness contract::
+
+    python benchmarks/bench_net.py                 # full microbench
+    python benchmarks/bench_net.py --ops 50000     # quicker run
+    python benchmarks/bench_net.py --parity-only   # CI gate mode
+
+Three microbench rows time the complete datagram lifecycle (send through
+arrival callback, simulator driven between batches so the pending queue
+stays small):
+
+- ``send_reliable`` -- unicast through the FIFO clamp and the per-pair
+  delay memo;
+- ``send_unreliable`` -- unicast through the loss draw (rate 0, so the
+  draw itself is what's measured);
+- ``multicast`` -- the batched fan-out lane, one stats update per call.
+
+The ``parity`` section re-runs identical traffic down both lanes -- the
+fast lane (no tracer, no faults) and the reference path (a
+:class:`~repro.obs.tracer.NullTracer` installed, which forces the traced
+branch while discarding events) -- and requires byte-identical stats,
+delivery order, arrival times and final clock.  A fault-lane row does the
+same across a partition/heal cycle against a never-faulted control with
+the same effective traffic.  CI runs ``--parity-only`` as a gate; the
+throughput rows are trajectory data, not gates.
+
+Not a pytest module: run it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.net.latency import ConstantLatency  # noqa: E402
+from repro.net.network import Network  # noqa: E402
+from repro.obs import tracer as obs  # noqa: E402
+from repro.sim.kernel import Simulator  # noqa: E402
+
+#: Datagrams sent per batch before draining the simulator; keeps the
+#: pending-event count (and therefore queue cost) flat across ``--ops``.
+BATCH = 1_000
+
+
+def _build(n_nodes: int = 4, seed: int = 7) -> Tuple[Simulator, Network, Dict]:
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=ConstantLatency(0.001))
+    boxes: Dict[str, List] = {}
+
+    for index in range(n_nodes):
+        name = f"n{index}"
+        box: List = []
+        boxes[name] = box
+        net.register(name, lambda src, payload, size, _box=box:
+                     _box.append(payload))
+    return sim, net, boxes
+
+
+def bench_send(ops: int, reliable: bool) -> Dict[str, Any]:
+    """Unicast datagrams/sec, full lifecycle (send + drive to arrival)."""
+    sim, net, _ = _build(n_nodes=2)
+    started = time.perf_counter()
+    sent = 0
+    while sent < ops:
+        batch = min(BATCH, ops - sent)
+        for _ in range(batch):
+            net.send("n0", "n1", sent, size_bytes=64, reliable=reliable)
+        sim.run_until_idle()
+        sent += batch
+    elapsed = time.perf_counter() - started
+    return {
+        "ops": ops,
+        "reliable": reliable,
+        "seconds": round(elapsed, 4),
+        "datagrams_per_sec": round(ops / elapsed, 1),
+        "delivered": net.stats.datagrams_delivered,
+    }
+
+
+def bench_multicast(ops: int, fanout: int) -> Dict[str, Any]:
+    """Multicast calls/sec and effective datagrams/sec for one fan-out."""
+    sim, net, _ = _build(n_nodes=fanout + 1)
+    dsts = [f"n{i}" for i in range(fanout + 1)]  # includes self, skipped
+    calls = max(1, ops // fanout)
+    started = time.perf_counter()
+    done = 0
+    while done < calls:
+        batch = min(BATCH, calls - done)
+        for _ in range(batch):
+            net.multicast("n0", dsts, done, size_bytes=64)
+        sim.run_until_idle()
+        done += batch
+    elapsed = time.perf_counter() - started
+    datagrams = calls * fanout
+    return {
+        "calls": calls,
+        "fanout": fanout,
+        "seconds": round(elapsed, 4),
+        "calls_per_sec": round(calls / elapsed, 1),
+        "datagrams_per_sec": round(datagrams / elapsed, 1),
+        "delivered": net.stats.datagrams_delivered,
+    }
+
+
+def _drive_traffic(sim: Simulator, net: Network) -> Tuple[Dict, List, float]:
+    """A fixed traffic mix exercising unicast, multicast and FIFO clamps."""
+    boxes: Dict[str, List] = {}
+    for name in ("a", "b", "c"):
+        box: List = []
+        boxes[name] = box
+        net.register(name, lambda src, payload, size, _box=box:
+                     _box.append((src, payload, size, sim.now)))
+    for round_no in range(200):
+        net.send("a", "b", ("u", round_no), size_bytes=32)
+        net.send("a", "b", ("u2", round_no), size_bytes=32,
+                 reliable=False)
+        net.multicast("b", ["a", "b", "c"], ("m", round_no), size_bytes=48)
+        net.send("c", "missing", ("drop", round_no), size_bytes=8)
+        if round_no % 50 == 0:
+            sim.run_until_idle()
+    sim.run_until_idle()
+    return net.stats.as_dict(), sorted(boxes.items()), sim.now
+
+
+def parity_fast_vs_reference() -> bool:
+    """Fast lane vs tracer-armed reference path: identical observables."""
+    outcomes = []
+    for install_tracer in (False, True):
+        sim = Simulator(seed=11)
+        net = Network(sim, latency=ConstantLatency(0.002))
+        if install_tracer:
+            obs.install(obs.NullTracer())
+        try:
+            outcomes.append(_drive_traffic(sim, net))
+        finally:
+            if install_tracer:
+                obs.uninstall()
+    return outcomes[0] == outcomes[1]
+
+
+def parity_fault_cycle() -> bool:
+    """A partition/heal cycle re-arms and then disarms the fault gate.
+
+    After heal, the network must return to the fast lane (flag down) and
+    the post-heal traffic must match a never-faulted control run.
+    """
+    def post_heal_run(with_cycle: bool) -> Tuple:
+        sim = Simulator(seed=13)
+        net = Network(sim, latency=ConstantLatency(0.002))
+        warmup: List = []
+        net.register("a", lambda *args: None)
+        net.register("b", lambda src, payload, size:
+                     warmup.append(payload))
+        if with_cycle:
+            net.partition(["a"], ["b"])
+            assert net._faults_active
+            net.heal()
+        assert not net._faults_active
+        baseline = net.stats.as_dict()
+        received: List = []
+        net.register("b", lambda src, payload, size:
+                     received.append((payload, sim.now)))
+        for index in range(100):
+            net.send("a", "b", index, size_bytes=16)
+        sim.run_until_idle()
+        delta = {key: value - baseline[key]
+                 for key, value in net.stats.as_dict().items()}
+        return delta, received
+    return post_heal_run(True) == post_heal_run(False)
+
+
+def main(argv) -> int:
+    """Run the network microbench and write the JSON report."""
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_net.py",
+        description="Benchmark the datagram fast lane and check its "
+                    "parity contract.",
+    )
+    parser.add_argument("--ops", type=int, default=200_000,
+                        help="datagrams per microbench row "
+                             "(default 200000)")
+    parser.add_argument("--fanout", type=int, default=20,
+                        help="multicast fan-out (default 20)")
+    parser.add_argument("--out", default="BENCH_net.json",
+                        help="report path (default BENCH_net.json)")
+    parser.add_argument("--parity-only", action="store_true",
+                        help="run only the parity checks (CI gate mode); "
+                             "exit non-zero on mismatch, write no report")
+    args = parser.parse_args(argv)
+
+    parity = {
+        "fast_vs_reference": parity_fast_vs_reference(),
+        "fault_cycle_rearms_and_disarms": parity_fault_cycle(),
+    }
+    if not all(parity.values()):
+        print(f"PARITY FAILURE: {parity}", file=sys.stderr)
+        return 1
+    print(f"parity: {parity}")
+    if args.parity_only:
+        return 0
+
+    report: Dict[str, Any] = {
+        "benchmark": "datagram fast lane: send/multicast lifecycle",
+        "cpu_count": os.cpu_count(),
+        "parity": parity,
+        "send_reliable": bench_send(args.ops, reliable=True),
+        "send_unreliable": bench_send(args.ops, reliable=False),
+        "multicast": bench_multicast(args.ops, args.fanout),
+    }
+    for row in ("send_reliable", "send_unreliable", "multicast"):
+        print(f"{row:>16}: {report[row]['datagrams_per_sec']:>12,.0f} "
+              f"datagrams/sec")
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -18,10 +18,11 @@ stores here *enforce* them via the outdate-reaction parameter.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, FrozenSet, Iterable, Optional
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.coherence.models import SessionGuarantee
 from repro.coherence.vector_clock import VectorClock
+from repro.comm.message import estimate_size
 from repro.core.ids import WriteId
 
 
@@ -42,11 +43,18 @@ class SessionState:
     #: Next sequence number for this client's writes.
     next_seqno: int = 1
 
+    def __post_init__(self) -> None:
+        # Deliberately not a dataclass field: the cached wire form (dict
+        # plus estimated size) is derived state, rebuilt lazily whenever
+        # an observation actually changes what :meth:`to_wire` reports.
+        self._wire_cache: Optional[Tuple[Dict[str, Any], int]] = None
+
     def with_guarantees(
         self, guarantees: Iterable[SessionGuarantee]
     ) -> "SessionState":
         """Return self with the guarantee set replaced (builder style)."""
         self.guarantees = frozenset(guarantees)
+        self._wire_cache = None
         return self
 
     # -- write path ------------------------------------------------------------
@@ -75,6 +83,7 @@ class SessionState:
         self.last_write = wid
         self.last_write_store = store
         self.write_vc.record(wid)
+        self._wire_cache = None
 
     # -- read path ------------------------------------------------------------
 
@@ -93,16 +102,31 @@ class SessionState:
 
     def observe_read(self, store_version: VectorClock) -> None:
         """Record the version vector the serving store reported."""
-        self.read_vc.merge(store_version)
+        if self.read_vc.merge(store_version):
+            self._wire_cache = None
 
     # -- wire form ------------------------------------------------------------
 
     def to_wire(self) -> Dict[str, Any]:
-        """Context dict shipped with read/write requests to stores."""
-        return {
-            "client_id": self.client_id,
-            "requirement": self.read_requirement().as_dict(),
-            "last_write": str(self.last_write) if self.last_write else None,
-            "last_write_store": self.last_write_store,
-            "guarantees": sorted(g.value for g in self.guarantees),
-        }
+        """Context dict shipped with read/write requests to stores.
+
+        The dict is cached between observations that change it (most
+        reads observe nothing new) and shared by reference across
+        requests; receivers treat request bodies as frozen, so the shared
+        form is never mutated.
+        """
+        return self.wire_sized()[0]
+
+    def wire_sized(self) -> Tuple[Dict[str, Any], int]:
+        """The wire form together with its estimated payload size."""
+        cached = self._wire_cache
+        if cached is None:
+            wire = {
+                "client_id": self.client_id,
+                "requirement": self.read_requirement().as_dict(),
+                "last_write": str(self.last_write) if self.last_write else None,
+                "last_write_store": self.last_write_store,
+                "guarantees": sorted(g.value for g in self.guarantees),
+            }
+            cached = self._wire_cache = (wire, estimate_size(wire))
+        return cached

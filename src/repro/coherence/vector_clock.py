@@ -24,7 +24,7 @@ class VectorClock:
     __slots__ = ("_entries",)
 
     def __init__(self, entries: Optional[Dict[str, int]] = None) -> None:
-        self._entries: Dict[str, int] = dict(entries or {})
+        self._entries: Dict[str, int] = dict(entries) if entries else {}
 
     # -- access ---------------------------------------------------------------
 
@@ -42,7 +42,9 @@ class VectorClock:
 
     def copy(self) -> "VectorClock":
         """Independent copy."""
-        return VectorClock(self._entries)
+        clone = VectorClock.__new__(VectorClock)
+        clone._entries = self._entries.copy()
+        return clone
 
     # -- mutation ---------------------------------------------------------------
 
@@ -55,10 +57,20 @@ class VectorClock:
         """Advance by a write identifier."""
         self.advance(wid.client_id, wid.seqno)
 
-    def merge(self, other: "VectorClock") -> None:
-        """Pointwise maximum, in place."""
+    def merge(self, other: "VectorClock") -> bool:
+        """Pointwise maximum, in place.
+
+        Returns whether any entry actually advanced, so callers keeping a
+        derived cache (the session wire form) can skip invalidation when
+        a merge was a no-op.
+        """
+        entries = self._entries
+        changed = False
         for client_id, seqno in other._entries.items():
-            self.advance(client_id, seqno)
+            if seqno > entries.get(client_id, 0):
+                entries[client_id] = seqno
+                changed = True
+        return changed
 
     def merged(self, other: "VectorClock") -> "VectorClock":
         """Pointwise maximum, as a new clock."""
@@ -70,10 +82,11 @@ class VectorClock:
 
     def dominates(self, other: "VectorClock") -> bool:
         """True if every entry of ``other`` is <= the matching entry here."""
-        return all(
-            self._entries.get(client_id, 0) >= seqno
-            for client_id, seqno in other._entries.items()
-        )
+        entries = self._entries
+        for client_id, seqno in other._entries.items():
+            if seqno > entries.get(client_id, 0):
+                return False
+        return True
 
     def includes(self, wid: WriteId) -> bool:
         """Whether the write identified by ``wid`` is covered."""
@@ -100,4 +113,4 @@ class VectorClock:
     @classmethod
     def from_dict(cls, entries: Optional[Dict[str, int]]) -> "VectorClock":
         """Build from a message-embedded dict (``None`` -> empty clock)."""
-        return cls(dict(entries) if entries else {})
+        return cls(entries)

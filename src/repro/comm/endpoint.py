@@ -80,10 +80,22 @@ class CommunicationObject:
         )
 
     def multicast(self, dsts: Sequence[str], message: Message) -> None:
-        """Send the same message to several destinations."""
-        for dst in dsts:
-            if dst != self.address:
-                self.send(dst, message)
+        """Send the same message to several destinations.
+
+        Sizes the message once and hands the whole fan-out to the
+        transport's ``multicast``, which skips self-addressing exactly
+        like the historical loop of :meth:`send` calls did.
+        """
+        targets = [dst for dst in dsts if dst != self.address]
+        if not targets:
+            return
+        size = message.payload_size()
+        self.messages_sent += len(targets)
+        self.bytes_sent += len(targets) * size
+        self.network.multicast(
+            self.address, targets, message, size_bytes=size,
+            reliable=self.reliable,
+        )
 
     def request(
         self,

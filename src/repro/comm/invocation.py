@@ -8,7 +8,6 @@ parameters have been encoded.  This module is that encoding.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any, Dict, Tuple
 
 from repro.comm.message import estimate_size
@@ -18,32 +17,69 @@ class InvocationCodecError(ValueError):
     """Raised when an invocation message cannot be decoded."""
 
 
-@dataclasses.dataclass(frozen=True)
 class MarshalledInvocation:
     """A method call reduced to data: name, positional and keyword args.
 
     ``read_only`` tags whether the invocation modifies semantics state;
     the control object uses it to route reads locally and writes through
     the replication object.
+
+    Semantically a frozen value object (equality and hashing over all
+    four fields); implemented as a plain ``__slots__`` class because one
+    is created per invocation on the hot path, where the generated
+    frozen-dataclass ``__init__`` (one ``object.__setattr__`` per field)
+    measurably dominates.
     """
 
-    method: str
-    args: Tuple[Any, ...] = ()
-    kwargs: Tuple[Tuple[str, Any], ...] = ()
-    read_only: bool = True
+    __slots__ = ("method", "args", "kwargs", "read_only")
+
+    def __init__(
+        self,
+        method: str,
+        args: Tuple[Any, ...] = (),
+        kwargs: Tuple[Tuple[str, Any], ...] = (),
+        read_only: bool = True,
+    ) -> None:
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs
+        self.read_only = read_only
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MarshalledInvocation):
+            return NotImplemented
+        return (
+            self.method == other.method
+            and self.args == other.args
+            and self.kwargs == other.kwargs
+            and self.read_only == other.read_only
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.method, self.args, self.kwargs, self.read_only))
+
+    def __repr__(self) -> str:
+        return (
+            f"MarshalledInvocation(method={self.method!r}, args={self.args!r},"
+            f" kwargs={self.kwargs!r}, read_only={self.read_only!r})"
+        )
 
     def kwargs_dict(self) -> Dict[str, Any]:
         """The keyword arguments as a plain dict."""
         return dict(self.kwargs)
 
     def payload_size(self) -> int:
-        """Estimated encoded size in bytes."""
-        return (
-            estimate_size(self.method)
-            + estimate_size(list(self.args))
-            + estimate_size(dict(self.kwargs))
-            + 4
-        )
+        """Estimated encoded size in bytes.
+
+        Value-identical to sizing ``list(self.args)`` and
+        ``dict(self.kwargs)`` (lists and tuples cost the same per item,
+        and the kwargs pairs are unique by construction), without
+        building those temporaries on the hot path.
+        """
+        total = estimate_size(self.method) + estimate_size(self.args) + 4
+        for key, value in self.kwargs:
+            total += estimate_size(key) + estimate_size(value) + 2
+        return total
 
 
 def encode_invocation(
@@ -66,7 +102,16 @@ def decode_invocation(encoded: Dict[str, Any]) -> MarshalledInvocation:
     try:
         method = encoded["method"]
         args = tuple(encoded.get("args", ()))
-        kwargs = tuple(sorted(dict(encoded.get("kwargs", {})).items()))
+        raw_kwargs = encoded.get("kwargs")
+        if isinstance(raw_kwargs, dict):
+            # ``sorted`` reads the mapping without mutating it, so the
+            # defensive ``dict()`` copy is skipped; the empty case (every
+            # positional-only protocol call) allocates nothing.
+            kwargs = tuple(sorted(raw_kwargs.items())) if raw_kwargs else ()
+        elif raw_kwargs is None:
+            kwargs = ()
+        else:
+            kwargs = tuple(sorted(dict(raw_kwargs).items()))
         read_only = bool(encoded.get("read_only", True))
     except (TypeError, KeyError) as exc:
         raise InvocationCodecError(f"malformed invocation {encoded!r}") from exc

@@ -5,6 +5,21 @@ message name (``"update"``, ``"demand_update"``, ``"invalidate"`` ...); the
 ``body`` dict carries protocol fields.  Size is estimated structurally so
 that traffic statistics reflect partial-vs-full transfer choices without a
 real serializer.
+
+Sizing is on the per-datagram hot path (every send crosses it), so it is
+organized around three caches:
+
+- :func:`estimate_size` dispatches on the *exact* type first (one dict
+  lookup for the scalar types) and inlines string/number sizing inside
+  the dict and list walks, so a typical protocol body costs a handful of
+  Python-level calls instead of one recursive call per leaf;
+- each :class:`Message` computes its size once, on first use, and serves
+  :meth:`Message.payload_size` from the cached value afterwards (bodies
+  are treated as frozen once built -- nothing in the stack mutates a
+  message after handing it to the transport);
+- the fixed envelope cost of a message *kind* (``ENVELOPE_OVERHEAD`` plus
+  the encoded kind string) is cached per kind, since the protocol uses a
+  small closed set of kind names.
 """
 
 from __future__ import annotations
@@ -18,6 +33,18 @@ _msg_counter = itertools.count(1)
 #: Fixed per-message envelope overhead, bytes (headers, framing).
 ENVELOPE_OVERHEAD = 64
 
+#: Size of scalar values by exact type: the single-lookup fast path.
+_SCALAR_SIZES = {type(None): 1, bool: 1, int: 8, float: 8}
+
+#: Per-kind envelope cost (``ENVELOPE_OVERHEAD`` + encoded kind string),
+#: filled lazily; the protocol's kind vocabulary is a small closed set.
+_KIND_COSTS: Dict[str, int] = {}
+
+
+def _str_size(value: str) -> int:
+    """UTF-8 byte length of a string (pure-ASCII strings skip encoding)."""
+    return len(value) if value.isascii() else len(value.encode("utf-8"))
+
 
 def estimate_size(value: Any) -> int:
     """Structural size estimate of a payload, in bytes.
@@ -26,6 +53,56 @@ def estimate_size(value: Any) -> int:
     their elements plus small per-item overhead.  Good enough for relative
     traffic comparisons between full and partial transfers.
     """
+    kind = type(value)
+    if kind is str:
+        return len(value) if value.isascii() else len(value.encode("utf-8"))
+    scalar = _SCALAR_SIZES.get(kind)
+    if scalar is not None:
+        return scalar
+    if kind is dict:
+        total = 0
+        for key, item in value.items():
+            total += 2
+            item_kind = type(key)
+            if item_kind is str:
+                total += (len(key) if key.isascii()
+                          else len(key.encode("utf-8")))
+            else:
+                total += estimate_size(key)
+            item_kind = type(item)
+            if item_kind is str:
+                total += (len(item) if item.isascii()
+                          else len(item.encode("utf-8")))
+            elif item_kind is int or item_kind is float:
+                total += 8
+            else:
+                total += estimate_size(item)
+        return total
+    if kind is list or kind is tuple:
+        total = 0
+        for item in value:
+            total += 2
+            item_kind = type(item)
+            if item_kind is str:
+                total += (len(item) if item.isascii()
+                          else len(item.encode("utf-8")))
+            elif item_kind is int or item_kind is float:
+                total += 8
+            else:
+                total += estimate_size(item)
+        return total
+    if kind is bytes:
+        return len(value)
+    return _estimate_other(value)
+
+
+def _estimate_other(value: Any) -> int:
+    """Slow-path sizing for subclasses, dataclasses and sized objects.
+
+    Reproduces the historical ``isinstance`` chain for values whose exact
+    type is not one of the fast-path builtins, preserving its check order
+    (``bool`` before ``int``, dataclass before ``payload_size``).
+    """
     if value is None:
         return 1
     if isinstance(value, bool):
@@ -33,7 +110,7 @@ def estimate_size(value: Any) -> int:
     if isinstance(value, (int, float)):
         return 8
     if isinstance(value, str):
-        return len(value.encode("utf-8"))
+        return _str_size(value)
     if isinstance(value, bytes):
         return len(value)
     if isinstance(value, dict):
@@ -42,37 +119,103 @@ def estimate_size(value: Any) -> int:
         )
     if isinstance(value, (list, tuple, set, frozenset)):
         return sum(estimate_size(item) + 2 for item in value)
+    if isinstance(value, Message):
+        # A message nested inside another body sizes exactly as it did
+        # when Message was a dataclass walked field by field: each field
+        # counts its name, its sized value and the 2-byte item overhead.
+        return (
+            (4 + _str_size(value.kind) + 2)          # "kind"
+            + (4 + estimate_size(value.body) + 2)    # "body"
+            + (6 + 8 + 2)                            # "msg_id" (int)
+            + (8 + estimate_size(value.reply_to) + 2)  # "reply_to"
+        )
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return estimate_size(dataclasses.asdict(value))
+        # Walk fields directly: value-identical to sizing
+        # ``dataclasses.asdict(value)`` (each field counts its name, its
+        # recursively sized value and the 2-byte item overhead) without
+        # asdict's deep copy of every nested container.
+        total = 0
+        for field in dataclasses.fields(value):
+            total += (
+                _str_size(field.name)
+                + estimate_size(getattr(value, field.name))
+                + 2
+            )
+        return total
     if hasattr(value, "payload_size"):
         return int(value.payload_size())
     return 16
 
 
-@dataclasses.dataclass
+def _kind_cost(kind: str) -> int:
+    """Envelope cost of one message kind, cached per kind string."""
+    cost = _KIND_COSTS.get(kind)
+    if cost is None:
+        cost = _KIND_COSTS[kind] = ENVELOPE_OVERHEAD + estimate_size(kind)
+    return cost
+
+
+def envelope_cost(kind: str) -> int:
+    """The fixed envelope cost of one message kind, in bytes.
+
+    Public face of the per-kind cache, for senders that assemble a
+    message's total size arithmetically (caching each part) instead of
+    walking the finished body.  ``Message.payload_size`` always equals
+    ``envelope_cost(kind) + estimate_size(body)``.
+    """
+    return _kind_cost(kind)
+
+
 class Message:
     """A typed protocol message.
+
+    A plain ``__slots__`` class rather than a dataclass: one message is
+    built per protocol datagram, and the hand-written ``__init__`` (four
+    stores plus a counter bump) keeps construction off the profile.
+    Messages are envelopes, not values -- identity comparison is the
+    only equality the protocol ever needs.
 
     Attributes
     ----------
     kind:
         Protocol message name; replication objects dispatch on it.
     body:
-        Protocol fields.
+        Protocol fields.  Treated as frozen once the message is built:
+        the wire size is computed once and cached, so mutating the body
+        afterwards would desynchronize it from the reported size.
     msg_id:
         Unique id, assigned at construction; used to correlate replies.
     reply_to:
         The ``msg_id`` of the request this message answers, if any.
     """
 
-    kind: str
-    body: Dict[str, Any] = dataclasses.field(default_factory=dict)
-    msg_id: int = dataclasses.field(default_factory=lambda: next(_msg_counter))
-    reply_to: Optional[int] = None
+    __slots__ = ("kind", "body", "msg_id", "reply_to", "_size")
+
+    def __init__(
+        self,
+        kind: str,
+        body: Optional[Dict[str, Any]] = None,
+        msg_id: Optional[int] = None,
+        reply_to: Optional[int] = None,
+    ) -> None:
+        self.kind = kind
+        self.body = {} if body is None else body
+        self.msg_id = next(_msg_counter) if msg_id is None else msg_id
+        self.reply_to = reply_to
+        self._size: Optional[int] = None
 
     def payload_size(self) -> int:
-        """Estimated wire size including envelope overhead."""
-        return ENVELOPE_OVERHEAD + estimate_size(self.kind) + estimate_size(self.body)
+        """Estimated wire size including envelope overhead.
+
+        Computed once per message (first use) and cached; a retry that
+        re-sends the same message re-reads the cached size.  Senders that
+        can derive the size arithmetically (the client read path) may
+        pre-seed the cache instead.
+        """
+        size = self._size
+        if size is None:
+            size = self._size = _kind_cost(self.kind) + estimate_size(self.body)
+        return size
 
     def reply(self, kind: str, body: Optional[Dict[str, Any]] = None) -> "Message":
         """Build a response message correlated to this one."""

@@ -118,6 +118,12 @@ class FaultableTransportMixin:
         self._partition_queue: List[QueuedDatagram] = []
         self._crashed: set = set()
         self._fault_lock = threading.RLock()
+        # True whenever a partition or a crash is in effect.  The
+        # simulated network's send fast lane keys off this flag to skip
+        # the whole fault gate while the network is healthy; every
+        # mutator below keeps it equal to
+        # ``bool(self._partitions or self._crashed)``.
+        self._faults_active = False
 
     def _obs_now(self) -> float:
         """The concrete transport's clock reading for trace timestamps.
@@ -133,6 +139,7 @@ class FaultableTransportMixin:
         """Cut connectivity between two node sets until :meth:`heal`."""
         with self._fault_lock:
             self._partitions.append((frozenset(side_a), frozenset(side_b)))
+            self._faults_active = True
 
     def heal(
         self,
@@ -167,6 +174,7 @@ class FaultableTransportMixin:
                         f"no partition {sorted(cut[0])} | {sorted(cut[1])} "
                         "to heal"
                     )
+            self._faults_active = bool(self._partitions or self._crashed)
             self._flush_partition_queue()
 
     def partitioned(self, src: str, dst: str) -> bool:
@@ -206,6 +214,7 @@ class FaultableTransportMixin:
         """Take ``node`` down; queued entries involving it are dropped."""
         with self._fault_lock:
             self._crashed.add(node)
+            self._faults_active = True
             kept: List[QueuedDatagram] = []
             for entry in self._partition_queue:
                 if entry[0] == node or entry[1] == node:
@@ -218,6 +227,7 @@ class FaultableTransportMixin:
         """Bring ``node`` back up (idempotent)."""
         with self._fault_lock:
             self._crashed.discard(node)
+            self._faults_active = bool(self._partitions or self._crashed)
 
     def is_crashed(self, node: str) -> bool:
         """Whether ``node`` is currently crashed."""

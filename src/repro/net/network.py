@@ -18,6 +18,18 @@ The partition / heal / crash machinery itself lives in
 :class:`~repro.faults.transport.FaultableTransportMixin`, shared with the
 wall-clock :class:`~repro.runtime.live.LiveNetwork` so one
 :class:`~repro.faults.plan.FaultPlan` runs identically on both substrates.
+
+**Event fast path.**  ``send`` and ``multicast`` run a fast lane whenever no
+fault is active (no partition, no crashed node -- the mixin maintains the
+``_faults_active`` flag) and no tracer is installed: the per-datagram fault
+gate, its lock, and the trace-hook guards are skipped entirely.  Installing
+a tracer or injecting any fault re-arms the full reference path, which is
+byte-identical in stats and schedule to the fast lane (pinned by the
+regression tests and the ``bench_net`` parity check).  Latency lookups are
+memoized per ``(src, dst)`` pair for models that declare themselves
+size-independent and deterministic via
+:meth:`~repro.net.latency.LatencyModel.pair_delay`; assigning a new model
+to :attr:`Network.latency` resets the memo.
 """
 
 from __future__ import annotations
@@ -35,18 +47,19 @@ from repro.sim.kernel import Simulator
 ReceiveHandler = Callable[[str, object, int], None]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class NetworkStats:
     """Counters for everything the network carried or dropped.
 
     Both the simulated and the live transport fill the same counter set,
     so fault metrics aggregate identically across backends.
 
-    Since the metrics registry became the export surface, this class is
-    a thin compatibility shim: :meth:`bind` mirrors every field into a
-    named :class:`~repro.obs.metrics.Counter`, and the historical
-    attribute-increment API keeps working unchanged (each assignment
-    also updates the bound counter).
+    Counter bumps are plain slotted-attribute writes -- nothing runs per
+    increment.  :meth:`bind` registers a registry collector instead: the
+    counters are mirrored into named
+    :class:`~repro.obs.metrics.Counter` instruments when the registry
+    takes a snapshot (or when :meth:`sync` is called explicitly), so the
+    export surface costs the datagram path nothing.
     """
 
     datagrams_sent: int = 0
@@ -61,35 +74,59 @@ class NetworkStats:
     #: channels (data + control); zero on the in-process transports.
     frames_sent: int = 0
     frames_received: int = 0
+    #: Mirror bookkeeping (set by :meth:`bind`); not counters.
+    _registry: Optional[MetricsRegistry] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+    _prefix: str = dataclasses.field(default="net", repr=False, compare=False)
+
+    #: The counter field names, in declaration order (excludes the
+    #: mirror bookkeeping fields).
+    COUNTER_FIELDS = (
+        "datagrams_sent",
+        "datagrams_delivered",
+        "datagrams_dropped_loss",
+        "datagrams_dropped_partition",
+        "datagrams_dropped_crashed",
+        "datagrams_dropped_unregistered",
+        "bytes_sent",
+        "bytes_delivered",
+        "frames_sent",
+        "frames_received",
+    )
 
     def bind(self, registry: MetricsRegistry,
              prefix: str = "net") -> "NetworkStats":
-        """Mirror every counter field into ``registry`` as ``prefix.field``.
+        """Mirror the counters into ``registry`` as ``prefix.field``.
 
-        Returns ``self`` so construction chains:
-        ``NetworkStats().bind(metrics)``.
+        The mirror is kept current lazily: :meth:`sync` runs as a
+        registry collector on every ``registry.snapshot()``.  Returns
+        ``self`` so construction chains: ``NetworkStats().bind(metrics)``.
         """
-        mirror = {}
-        for field in dataclasses.fields(self):
-            counter = registry.counter(f"{prefix}.{field.name}")
-            counter.set(getattr(self, field.name))
-            mirror[field.name] = counter
-        self._mirror = mirror
+        self._registry = registry
+        self._prefix = prefix
+        registry.add_collector(self.sync)
+        self.sync()
         return self
 
-    def __setattr__(self, name: str, value: object) -> None:
-        """Assign the attribute and update its bound registry counter."""
-        object.__setattr__(self, name, value)
-        # _mirror is absent both before bind() and during dataclass
-        # __init__ field assignment; plain instances stay plain.
-        mirror = self.__dict__.get("_mirror")
-        if mirror is not None and name in mirror:
-            mirror[name].set(value)
+    def sync(self) -> None:
+        """Publish the current counter values into the bound registry."""
+        registry = self._registry
+        if registry is None:
+            return
+        prefix = self._prefix
+        for name in self.COUNTER_FIELDS:
+            registry.counter(f"{prefix}.{name}").set(getattr(self, name))
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain ``{field: value}`` dict."""
+        return {name: getattr(self, name) for name in self.COUNTER_FIELDS}
 
     def reset(self) -> None:
-        """Zero all counters in place."""
-        for field in dataclasses.fields(self):
-            setattr(self, field.name, 0)
+        """Zero all counters in place (and the mirror, if bound)."""
+        for name in self.COUNTER_FIELDS:
+            setattr(self, name, 0)
+        self.sync()
 
 
 class NodeNotRegistered(KeyError):
@@ -106,7 +143,10 @@ class Network(FaultableTransportMixin):
         loss_rate: float = 0.0,
     ) -> None:
         self.sim = sim
-        self.latency = latency or ConstantLatency()
+        self._latency = latency or ConstantLatency()
+        # Per-(src, dst) delay memo; ``None`` once the model declines
+        # (size-dependent or randomized), re-armed on model assignment.
+        self._delay_cache: Optional[Dict[Tuple[str, str], float]] = {}
         self.metrics = MetricsRegistry()
         self.stats = NetworkStats().bind(self.metrics)
         self._handlers: Dict[str, ReceiveHandler] = {}
@@ -114,6 +154,17 @@ class Network(FaultableTransportMixin):
         self._init_faults(
             loss_rng=sim.rng.fork("network-loss"), loss_rate=loss_rate
         )
+
+    @property
+    def latency(self) -> LatencyModel:
+        """The latency model datagram delays are sampled from."""
+        return self._latency
+
+    @latency.setter
+    def latency(self, model: LatencyModel) -> None:
+        """Swap the latency model; resets the per-pair delay memo."""
+        self._latency = model
+        self._delay_cache = {}
 
     # -- membership -----------------------------------------------------------
 
@@ -143,7 +194,43 @@ class Network(FaultableTransportMixin):
         size_bytes: int = 0,
         reliable: bool = True,
     ) -> None:
-        """Send one datagram.  ``reliable`` selects the delivery class."""
+        """Send one datagram.  ``reliable`` selects the delivery class.
+
+        The fast lane runs when no fault is active and no tracer is
+        installed; otherwise the full reference path (fault gate + trace
+        hooks) handles the datagram identically.
+        """
+        if self._faults_active or _obs.ACTIVE is not None:
+            return self._send_reference(src, dst, payload, size_bytes,
+                                        reliable)
+        handlers = self._handlers
+        if src not in handlers:
+            raise NodeNotRegistered(src)
+        stats = self.stats
+        stats.datagrams_sent += 1
+        stats.bytes_sent += size_bytes
+        if dst not in handlers:
+            stats.datagrams_dropped_unregistered += 1
+            return
+        if reliable:
+            self._deliver_reliable(src, dst, payload, size_bytes)
+        else:
+            self._deliver_unreliable(src, dst, payload, size_bytes)
+
+    def _send_reference(
+        self,
+        src: str,
+        dst: str,
+        payload: object,
+        size_bytes: int,
+        reliable: bool,
+    ) -> None:
+        """The reference send path: fault gate plus trace hooks.
+
+        Armed whenever a fault is active or a tracer is installed; its
+        observable behaviour (stats, schedule, RNG draws) is identical to
+        the fast lane when no fault consumes the datagram.
+        """
         if src not in self._handlers:
             raise NodeNotRegistered(src)
         self.stats.datagrams_sent += 1
@@ -176,25 +263,77 @@ class Network(FaultableTransportMixin):
         size_bytes: int = 0,
         reliable: bool = True,
     ) -> None:
-        """Send the same payload to every destination (skipping ``src``)."""
-        for dst in dsts:
-            if dst != src:
-                self.send(src, dst, payload, size_bytes, reliable=reliable)
+        """Send the same payload to every destination (skipping ``src``).
+
+        Equivalent to a loop of :meth:`send` calls -- same stats, same
+        FIFO clamps, same traced events -- but the batched fast lane
+        checks the source registration and the fault/tracer gate once
+        for the whole fan-out.  With a fault or tracer active, the
+        per-destination reference path runs instead (destinations can be
+        gated differently by a partition).
+        """
+        if self._faults_active or _obs.ACTIVE is not None:
+            for dst in dsts:
+                if dst != src:
+                    self._send_reference(src, dst, payload, size_bytes,
+                                         reliable)
+            return
+        targets = [dst for dst in dsts if dst != src]
+        if not targets:
+            return
+        handlers = self._handlers
+        if src not in handlers:
+            raise NodeNotRegistered(src)
+        deliver = (self._deliver_reliable if reliable
+                   else self._deliver_unreliable)
+        dropped = 0
+        for dst in targets:
+            if dst not in handlers:
+                dropped += 1
+                continue
+            deliver(src, dst, payload, size_bytes)
+        stats = self.stats
+        stats.datagrams_sent += len(targets)
+        stats.bytes_sent += len(targets) * size_bytes
+        if dropped:
+            stats.datagrams_dropped_unregistered += dropped
 
     # -- delivery ------------------------------------------------------------------
+
+    def _pair_delay(self, src: str, dst: str, size_bytes: int) -> float:
+        """One datagram's delay, memoized per pair when the model allows.
+
+        Models that are deterministic and size-independent (they answer
+        :meth:`~repro.net.latency.LatencyModel.pair_delay`) are asked
+        once per ``(src, dst)`` pair; the first ``None`` answer disables
+        the memo for the network, so randomized or size-dependent models
+        pay only one extra probe ever.
+        """
+        cache = self._delay_cache
+        if cache is None:
+            return self._latency.delay(src, dst, size_bytes)
+        key = (src, dst)
+        delay = cache.get(key)
+        if delay is None:
+            delay = self._latency.pair_delay(src, dst)
+            if delay is None:
+                self._delay_cache = None
+                return self._latency.delay(src, dst, size_bytes)
+            cache[key] = delay
+        return delay
 
     def _deliver_reliable(
         self, src: str, dst: str, payload: object, size_bytes: int
     ) -> None:
-        delay = self.latency.delay(src, dst, size_bytes)
-        arrival = self.sim.now + delay
+        arrival = self.sim.now + self._pair_delay(src, dst, size_bytes)
         # FIFO clamp: a reliable stream never reorders within a (src, dst)
         # pair, exactly like a TCP connection.
         key = (src, dst)
-        floor = self._fifo_clock.get(key, 0.0)
+        fifo = self._fifo_clock
+        floor = fifo.get(key, 0.0)
         if arrival < floor:
             arrival = floor
-        self._fifo_clock[key] = arrival
+        fifo[key] = arrival
         self.sim.schedule_at(arrival, self._arrive, src, dst, payload, size_bytes)
 
     def _deliver_unreliable(
@@ -207,11 +346,11 @@ class Network(FaultableTransportMixin):
                     src=src, reason="loss",
                 )
             return
-        delay = self.latency.delay(src, dst, size_bytes)
+        delay = self._pair_delay(src, dst, size_bytes)
         self.sim.schedule(delay, self._arrive, src, dst, payload, size_bytes)
 
     def _arrive(self, src: str, dst: str, payload: object, size_bytes: int) -> None:
-        if self._crashed_at_arrival(dst):
+        if self._faults_active and self._crashed_at_arrival(dst):
             return
         handler = self._handlers.get(dst)
         if handler is None:
@@ -222,8 +361,9 @@ class Network(FaultableTransportMixin):
                     src=src, reason="unregistered",
                 )
             return
-        self.stats.datagrams_delivered += 1
-        self.stats.bytes_delivered += size_bytes
+        stats = self.stats
+        stats.datagrams_delivered += 1
+        stats.bytes_delivered += size_bytes
         if _obs.ACTIVE is not None:
             _obs.ACTIVE.event(
                 self.sim.now, "net.deliver", node=dst,

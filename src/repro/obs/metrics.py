@@ -11,14 +11,16 @@ describe.
 
 The network transports' historical
 :class:`~repro.net.network.NetworkStats` counters are mirrored into a
-registry by :meth:`NetworkStats.bind`, keeping the attribute-increment
-API (and every test pinned to it) intact while the registry becomes the
-export surface.
+registry by :meth:`NetworkStats.bind`.  The mirror is *lazy*: counter
+bumps are plain slotted-attribute writes, and the registry is brought
+current by a collector callback when :meth:`MetricsRegistry.snapshot`
+runs (see :meth:`add_collector`), so the per-datagram path pays nothing
+for the export surface.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Union
+from typing import Any, Callable, Dict, List, Union
 
 
 class Counter:
@@ -107,6 +109,19 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Register a callback run before every :meth:`snapshot`.
+
+        Collectors let hot-path components keep their counters in plain
+        attributes (no per-increment mirroring) and publish them into the
+        registry only when a snapshot is actually taken -- the
+        :class:`~repro.net.network.NetworkStats` sync is the canonical
+        user.  Registering the same callable twice is a no-op.
+        """
+        if collector not in self._collectors:
+            self._collectors.append(collector)
 
     def _get(self, name: str, factory: type) -> Metric:
         metric = self._metrics.get(name)
@@ -145,8 +160,12 @@ class MetricsRegistry:
 
         Counters and gauges map to their numeric value, histograms to
         their ``summary()`` dict.  Keys are sorted so the snapshot is a
-        deterministic function of the registry contents.
+        deterministic function of the registry contents.  Registered
+        collectors run first, so lazily mirrored sources (the network
+        stat counters) are current in the returned data.
         """
+        for collector in self._collectors:
+            collector()
         out: Dict[str, Any] = {}
         for name in sorted(self._metrics):
             metric = self._metrics[name]

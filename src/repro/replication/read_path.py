@@ -31,7 +31,7 @@ from repro.replication.policy import (
 from repro.sim.future import Future
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class WaitingRead:
     """A read held back until the replica can serve it."""
 
@@ -50,6 +50,9 @@ class WaitingRead:
     #: Identical cohort clients this one request stands in for (weighted
     #: trace/metric accounting; 1 for an ordinary client read).
     weight: int = 1
+    #: Local-invocation reads (a co-located client) resolve this future
+    #: instead of sending a reply message back over the network.
+    request_future: Optional[Future] = None
 
 
 class ReadDemandPath:
@@ -157,9 +160,19 @@ class ReadDemandPath:
             # The primary is authoritative: a key it lacks does not exist,
             # so the read proceeds and fails with the semantics error.
             return []
-        involved = [k for k in entry.involved if k not in entry.absent]
-        missing = set(engine.control.missing_keys(involved))
-        return sorted(missing | (engine.invalid_keys & set(involved)))
+        if entry.absent:
+            involved: Sequence[str] = [
+                k for k in entry.involved if k not in entry.absent
+            ]
+        else:
+            involved = entry.involved
+        missing = engine.control.missing_keys(involved)
+        invalid = engine.invalid_keys
+        if not missing and not invalid:
+            # The overwhelmingly common case on a warm replica: nothing
+            # to fetch, so skip the set algebra and its allocations.
+            return []
+        return sorted(set(missing) | (invalid & set(involved)))
 
     def served_version(self, involved: Sequence[str]) -> VectorClock:
         """The version vector a read over ``involved`` would observe."""
@@ -177,11 +190,18 @@ class ReadDemandPath:
         return self.served_version(entry.involved).dominates(entry.requirement)
 
     def try_serve(self, entry: WaitingRead) -> bool:
-        """Serve ``entry`` if admissible; returns whether it was settled."""
+        """Serve ``entry`` if admissible; returns whether it was settled.
+
+        Inlines the :meth:`servable` checks so the served version is
+        computed once per admission instead of once to decide and once
+        to serve.
+        """
         engine = self.engine
-        if not self.servable(entry):
+        if self.keys_needing_fetch(entry):
             return False
         served = self.served_version(entry.involved)
+        if not served.dominates(entry.requirement):
+            return False
         try:
             result = engine.control.apply_local(entry.invocation)
         except Exception as exc:
@@ -198,7 +218,7 @@ class ReadDemandPath:
             )
         body = {"result": result, "version": served.as_dict(),
                 "store": engine.control.address}
-        future = getattr(entry, "request_future", None)
+        future = entry.request_future
         if future is not None:
             future.set_result(body)
         else:
@@ -213,7 +233,7 @@ class ReadDemandPath:
         from repro.replication.client import ReplicaError
 
         engine = self.engine
-        future = getattr(entry, "request_future", None)
+        future = entry.request_future
         if future is not None:
             future.set_error(ReplicaError(error))
         else:

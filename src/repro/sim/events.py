@@ -3,15 +3,21 @@
 Events order by ``(time, seq)``.  The sequence number is assigned by the
 kernel in scheduling order, which makes the execution order of simultaneous
 events deterministic (design decision D5 in DESIGN.md).
+
+:class:`Event` is a ``__slots__`` class, not a dataclass: one instance is
+created per scheduled callback, so construction cost and attribute-access
+cost are on the simulator's per-event hot path.  The event queues do not
+compare events directly -- they key their heaps by explicit ``(time, seq)``
+tuples (see :mod:`repro.sim.queues`), which compare in C instead of through
+a generated ``__lt__``.  The :meth:`__lt__` here exists only so external
+code that sorts events keeps working.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Any, Callable
+from typing import Any, Callable, Optional, Tuple
 
 
-@dataclasses.dataclass(order=True)
 class Event:
     """A callback scheduled at a point in virtual time.
 
@@ -23,15 +29,41 @@ class Event:
     no deadline stops once only daemon events remain.
     """
 
-    time: float
-    seq: int
-    fn: Callable[..., Any] = dataclasses.field(compare=False)
-    args: tuple = dataclasses.field(compare=False, default=())
-    cancelled: bool = dataclasses.field(compare=False, default=False)
-    daemon: bool = dataclasses.field(compare=False, default=False)
-    _cancel_hook: Callable[[], None] = dataclasses.field(
-        compare=False, default=None, repr=False
-    )
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "daemon",
+                 "_cancel_hook")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        cancelled: bool = False,
+        daemon: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = cancelled
+        self.daemon = daemon
+        self._cancel_hook: Optional[Callable[[], None]] = None
+
+    def sort_key(self) -> Tuple[float, int]:
+        """The total-order key the queues schedule by."""
+        return (self.time, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        """Order by ``(time, seq)``, matching the queue order."""
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            flag for flag, on in (("c", self.cancelled), ("d", self.daemon))
+            if on
+        )
+        return (f"Event(t={self.time!r}, seq={self.seq}"
+                f"{', ' + flags if flags else ''})")
 
     def cancel(self) -> None:
         """Prevent the event from firing.

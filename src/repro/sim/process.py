@@ -19,7 +19,6 @@ Example
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any, Generator, Optional
 
 from repro.sim.errors import SimulationError
@@ -31,18 +30,35 @@ class ProcessKilled(SimulationError):
     """Injected into a generator when its process is killed."""
 
 
-@dataclasses.dataclass(frozen=True)
 class Delay:
-    """Yielded by a process to sleep for ``seconds`` of virtual time."""
+    """Yielded by a process to sleep for ``seconds`` of virtual time.
 
-    seconds: float
+    A bare ``__slots__`` class (one is created per workload step, so
+    construction cost matters); treat instances as immutable.
+    """
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+
+    def __repr__(self) -> str:
+        return f"Delay({self.seconds!r})"
 
 
-@dataclasses.dataclass(frozen=True)
 class WaitFor:
-    """Yielded by a process to wait for a future's resolution."""
+    """Yielded by a process to wait for a future's resolution.
 
-    future: Future
+    Same hot-path construction story as :class:`Delay`.
+    """
+
+    __slots__ = ("future",)
+
+    def __init__(self, future: Future) -> None:
+        self.future = future
+
+    def __repr__(self) -> str:
+        return f"WaitFor({self.future!r})"
 
 
 class Process:

@@ -15,6 +15,12 @@ Event` ordered by ``(time, seq)``.  Two implementations ship:
   amortized O(1), which is what makes O(10^5)-client populations (and
   their O(10^5)-entry pending sets) affordable.
 
+Both queues key their internal heaps by explicit ``(time, seq, event)``
+tuples rather than comparing :class:`~repro.sim.events.Event` objects:
+``seq`` is unique, so tuple comparison resolves in C without ever
+reaching the event, where an ``Event.__lt__`` call per heap sift used to
+dominate queue cost.
+
 Both queues deliver events in exactly the same total order -- ascending
 ``(time, seq)`` -- so a seeded simulation produces bit-identical results
 regardless of the scheduler choice.  The property and golden parity
@@ -24,9 +30,13 @@ tests in ``tests/test_sim_scheduler.py`` pin this equivalence.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Type
+from typing import Dict, List, Optional, Tuple, Type
 
 from repro.sim.events import Event
+
+#: One queue entry: the explicit sort key plus its event.  ``seq`` is
+#: unique per simulation, so comparisons never fall through to the event.
+QueueEntry = Tuple[float, int, Event]
 
 
 class HeapEventQueue:
@@ -37,37 +47,38 @@ class HeapEventQueue:
     __slots__ = ("_heap",)
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[QueueEntry] = []
 
     def __len__(self) -> int:
         return len(self._heap)
 
     def push(self, event: Event) -> None:
         """Insert ``event``, keyed by its ``(time, seq)`` order."""
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
 
     def peek(self) -> Optional[Event]:
         """The minimum event without removing it, or ``None`` when empty."""
         if not self._heap:
             return None
-        return self._heap[0]
+        return self._heap[0][2]
 
     def pop(self) -> Optional[Event]:
         """Remove and return the minimum event, or ``None`` when empty."""
         if not self._heap:
             return None
-        return heapq.heappop(self._heap)
+        return heapq.heappop(self._heap)[2]
 
 
 class CalendarEventQueue:
     """A calendar-queue event queue with deterministic total order.
 
     Events hash to ``day = int(time / width)`` and live in bucket
-    ``day % nbuckets`` (a small heap, so simultaneous events stay in
-    ``seq`` order).  :meth:`pop` scans days forward from the last popped
-    day; a full fruitless rotation falls back to a direct minimum search
-    across bucket heads and jumps the calendar there, so sparse far-future
-    schedules cost one O(nbuckets) scan instead of a year-by-year walk.
+    ``day % nbuckets`` (a small heap of ``(time, seq, event)`` entries,
+    so simultaneous events stay in ``seq`` order).  :meth:`pop` scans
+    days forward from the last popped day; a full fruitless rotation
+    falls back to a direct minimum search across bucket heads and jumps
+    the calendar there, so sparse far-future schedules cost one
+    O(nbuckets) scan instead of a year-by-year walk.
 
     The queue resizes itself (doubling/halving the bucket count and
     re-estimating the bucket width from the live event span) whenever the
@@ -93,12 +104,14 @@ class CalendarEventQueue:
             raise ValueError(f"need at least one bucket, got {nbuckets!r}")
         self._width = float(width)
         self._nbuckets = int(nbuckets)
-        self._buckets: List[List[Event]] = [[] for _ in range(self._nbuckets)]
+        self._buckets: List[List[QueueEntry]] = [
+            [] for _ in range(self._nbuckets)
+        ]
         self._size = 0
         self._day = 0          # the calendar day the next pop scans from
         self._last_time = 0.0  # monotone: the last popped event time
-        self._peeked: Optional[Event] = None   # cached minimum, if located
-        self._peeked_day = 0                   # its calendar day
+        self._peeked: Optional[QueueEntry] = None  # cached minimum entry
+        self._peeked_day = 0                       # its calendar day
 
     def __len__(self) -> int:
         return self._size
@@ -109,8 +122,10 @@ class CalendarEventQueue:
 
     def push(self, event: Event) -> None:
         """Insert ``event``; grows the calendar when buckets crowd."""
-        day = self._day_of(event.time)
-        heapq.heappush(self._buckets[day % self._nbuckets], event)
+        time = event.time
+        entry = (time, event.seq, event)
+        day = int(time / self._width)
+        heapq.heappush(self._buckets[day % self._nbuckets], entry)
         self._size += 1
         if day < self._day:
             # Keep ``_day`` a lower bound on every queued event's day, so
@@ -118,7 +133,7 @@ class CalendarEventQueue:
             # kernel can discard a cancelled future event and then admit
             # earlier schedules, so pops alone do not maintain this.)
             self._day = day
-        if self._peeked is not None and event < self._peeked:
+        if self._peeked is not None and entry < self._peeked:
             self._peeked = None  # the cached minimum is no longer minimal
         if self._size > 2 * self._nbuckets:
             self._resize(self._nbuckets * 2)
@@ -135,23 +150,23 @@ class CalendarEventQueue:
         if self._size == 0:
             return None
         if self._peeked is not None:
-            return self._peeked
+            return self._peeked[2]
         nbuckets = self._nbuckets
         width = self._width
         day = self._day
         for _ in range(nbuckets):
             bucket = self._buckets[day % nbuckets]
-            if bucket and int(bucket[0].time / width) == day:
+            if bucket and int(bucket[0][0] / width) == day:
                 self._peeked = bucket[0]
                 self._peeked_day = day
-                return self._peeked
+                return self._peeked[2]
             day += 1
         # A whole rotation held nothing due this year: jump straight to
         # the earliest event (the minimum over bucket heads).
         head = min(bucket[0] for bucket in self._buckets if bucket)
         self._peeked = head
-        self._peeked_day = self._day_of(head.time)
-        return head
+        self._peeked_day = self._day_of(head[0])
+        return head[2]
 
     def pop(self) -> Optional[Event]:
         """Remove and return the minimum event, or ``None`` when empty.
@@ -165,16 +180,16 @@ class CalendarEventQueue:
         if self.peek() is None:
             return None
         self._day = self._peeked_day
-        event = heapq.heappop(self._buckets[self._day % self._nbuckets])
+        entry = heapq.heappop(self._buckets[self._day % self._nbuckets])
         self._peeked = None
         self._size -= 1
-        self._last_time = event.time
+        self._last_time = entry[0]
         if (
             self._nbuckets > self.MIN_BUCKETS
             and self._size < self._nbuckets // 2
         ):
             self._resize(max(self.MIN_BUCKETS, self._nbuckets // 2))
-        return event
+        return entry[2]
 
     def _resize(self, nbuckets: int) -> None:
         """Rebuild with ``nbuckets`` buckets and a re-estimated width.
@@ -184,21 +199,21 @@ class CalendarEventQueue:
         the full population (cheap: a resize already touches every
         event) so the estimate is deterministic.
         """
-        events: List[Event] = [
-            event for bucket in self._buckets for event in bucket
+        entries: List[QueueEntry] = [
+            entry for bucket in self._buckets for entry in bucket
         ]
         lo = self._last_time
-        if events:
-            lo = min(event.time for event in events)
-            hi = max(event.time for event in events)
+        if entries:
+            lo = min(entry[0] for entry in entries)
+            hi = max(entry[0] for entry in entries)
             span = hi - lo
             if span > 0.0:
-                self._width = 3.0 * span / max(1, len(events))
+                self._width = 3.0 * span / max(1, len(entries))
         self._nbuckets = nbuckets
         self._buckets = [[] for _ in range(nbuckets)]
-        for event in events:
+        for entry in entries:
             heapq.heappush(
-                self._buckets[self._day_of(event.time) % nbuckets], event
+                self._buckets[self._day_of(entry[0]) % nbuckets], entry
             )
         # Restart the scan at the earliest queued event: the new width
         # renumbers every day, and the cached peek is stale too.

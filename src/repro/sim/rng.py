@@ -13,7 +13,7 @@ import functools
 import hashlib
 import math
 import random
-from typing import List, Sequence, Tuple, TypeVar
+from typing import List, Optional, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -55,8 +55,18 @@ class SeededRng:
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
-        self._random = random.Random(seed)
+        # The underlying Mersenne Twister is materialized on first draw,
+        # not at construction: large builds fork thousands of streams
+        # (one per client, per component) and the ones never sampled
+        # should not pay the ~2500-word MT state initialization.  The
+        # draw sequence per stream is untouched -- the seed is fixed at
+        # construction, only the state setup is deferred.
+        self._random: Optional[random.Random] = None
         self._forks = 0
+
+    def _materialize(self) -> random.Random:
+        rng = self._random = random.Random(self.seed)
+        return rng
 
     def fork(self, label: str = "") -> "SeededRng":
         """Create an independent child generator.
@@ -78,27 +88,27 @@ class SeededRng:
 
     def random(self) -> float:
         """Uniform float in [0, 1)."""
-        return self._random.random()
+        return (self._random or self._materialize()).random()
 
     def uniform(self, low: float, high: float) -> float:
         """Uniform float in [low, high]."""
-        return self._random.uniform(low, high)
+        return (self._random or self._materialize()).uniform(low, high)
 
     def randint(self, low: int, high: int) -> int:
         """Uniform integer in [low, high]."""
-        return self._random.randint(low, high)
+        return (self._random or self._materialize()).randint(low, high)
 
     def choice(self, items: Sequence[T]) -> T:
         """Uniformly chosen element of a non-empty sequence."""
-        return self._random.choice(items)
+        return (self._random or self._materialize()).choice(items)
 
     def shuffle(self, items: List[T]) -> None:
         """In-place Fisher-Yates shuffle."""
-        self._random.shuffle(items)
+        (self._random or self._materialize()).shuffle(items)
 
     def sample(self, items: Sequence[T], k: int) -> List[T]:
         """k distinct elements chosen without replacement."""
-        return self._random.sample(items, k)
+        return (self._random or self._materialize()).sample(items, k)
 
     # -- distributions ------------------------------------------------------
 
@@ -109,7 +119,7 @@ class SeededRng:
         """
         if mean <= 0:
             raise ValueError(f"mean must be positive, got {mean!r}")
-        return self._random.expovariate(1.0 / mean)
+        return (self._random or self._materialize()).expovariate(1.0 / mean)
 
     def exponential_block(self, mean: float, count: int) -> List[float]:
         """``count`` exponential draws in one call (vectorized epoch draw).
@@ -122,7 +132,7 @@ class SeededRng:
         if mean <= 0:
             raise ValueError(f"mean must be positive, got {mean!r}")
         rate = 1.0 / mean
-        expovariate = self._random.expovariate
+        expovariate = (self._random or self._materialize()).expovariate
         return [expovariate(rate) for _ in range(count)]
 
     def pareto(self, alpha: float, minimum: float = 1.0) -> float:
@@ -130,13 +140,13 @@ class SeededRng:
         sizes and think times."""
         if alpha <= 0:
             raise ValueError(f"alpha must be positive, got {alpha!r}")
-        return minimum * self._random.paretovariate(alpha)
+        return minimum * (self._random or self._materialize()).paretovariate(alpha)
 
     def bernoulli(self, p: float) -> bool:
         """True with probability ``p``."""
         if not 0.0 <= p <= 1.0:
             raise ValueError(f"probability must be in [0, 1], got {p!r}")
-        return self._random.random() < p
+        return (self._random or self._materialize()).random() < p
 
     def zipf(self, n: int, s: float = 1.0) -> int:
         """Zipf-distributed rank in [0, n), rank 0 most popular.
@@ -162,7 +172,7 @@ class SeededRng:
         """Index drawn with probability proportional to ``weights``."""
         if not weights:
             raise ValueError("weights must be non-empty")
-        target = self._random.random() * sum(weights)
+        target = (self._random or self._materialize()).random() * sum(weights)
         cumulative = 0.0
         for index, weight in enumerate(weights):
             cumulative += weight

@@ -9,7 +9,12 @@ from repro.comm.invocation import (
     decode_invocation,
     encode_invocation,
 )
-from repro.comm.message import ENVELOPE_OVERHEAD, Message, estimate_size
+from repro.comm.message import (
+    ENVELOPE_OVERHEAD,
+    Message,
+    envelope_cost,
+    estimate_size,
+)
 from repro.net.latency import ConstantLatency
 from repro.net.network import Network
 from repro.sim.kernel import Simulator
@@ -30,6 +35,50 @@ class TestEstimateSize:
 
     def test_unicode_counts_bytes(self):
         assert estimate_size("é") == 2
+
+    def test_nested_message_sizes_like_its_field_dict(self):
+        # A Message inside a body must cost exactly what the historical
+        # dataclass walk charged: the size of its field dict.  Pins the
+        # explicit Message branch in ``_estimate_other`` against the
+        # generic dict walker.
+        for body in ({}, {"page": "index.html", "n": 3},
+                     {"nested": {"deep": [1, 2.5, None, "x"]}}):
+            inner = Message("probe", body, msg_id=17, reply_to=4)
+            as_dict = {
+                "kind": inner.kind,
+                "body": inner.body,
+                "msg_id": inner.msg_id,
+                "reply_to": inner.reply_to,
+            }
+            assert estimate_size(inner) == estimate_size(as_dict)
+            assert estimate_size([inner]) == estimate_size([as_dict])
+
+    def test_nested_message_default_reply_to(self):
+        inner = Message("probe", {"a": 1})
+        assert inner.reply_to is None
+        as_dict = {"kind": "probe", "body": {"a": 1},
+                   "msg_id": inner.msg_id, "reply_to": None}
+        assert estimate_size(inner) == estimate_size(as_dict)
+
+
+class TestEnvelopeCost:
+    def test_payload_size_is_envelope_plus_body(self):
+        # The documented identity the request-size arithmetic in
+        # ``replication.client`` relies on.
+        for kind, body in (
+            ("read", {"invocation": {"method": "m"}, "session": {}}),
+            ("write", {"record": {"wid": "w:1"}}),
+            ("x", {}),
+        ):
+            message = Message(kind, body)
+            assert message.payload_size() == \
+                envelope_cost(kind) + estimate_size(body)
+
+    def test_cached_size_survives_repeat_calls(self):
+        message = Message("k", {"a": "bb"})
+        first = message.payload_size()
+        message.body["grown"] = "later"  # size is fixed at first call
+        assert message.payload_size() == first
 
 
 class TestMessage:

@@ -279,3 +279,124 @@ def test_unregister_stops_delivery():
     net.unregister("b")
     sim.run_until_idle()
     assert received == []
+
+
+# -- fast-lane parity: multicast vs a loop of sends ---------------------------
+
+
+def _fanout_build(seed=11, latency=None):
+    """A network with one sender, three receivers and one dead address."""
+    sim = Simulator(seed=seed)
+    net = make_net(sim, latency=latency)
+    boxes = {name: [] for name in "abcd"}
+    for name in "abcd":
+        net.register(name, collector(boxes[name]))
+    net.unregister("d")  # a destination that drops as unregistered
+    return sim, net, boxes
+
+
+def _fanout_drive(sim, net, use_multicast, reliable):
+    dsts = ["a", "b", "c", "d"]
+    for round_no in range(5):
+        if use_multicast:
+            net.multicast("a", dsts, ("note", round_no), size_bytes=40,
+                          reliable=reliable)
+        else:
+            for dst in dsts:
+                if dst != "a":
+                    net.send("a", dst, ("note", round_no), size_bytes=40,
+                             reliable=reliable)
+    sim.run_until_idle()
+
+
+@pytest.mark.parametrize("reliable", [True, False])
+def test_multicast_equals_loop_of_sends(reliable):
+    # Same seed, same latency jitter: the batched fast lane must produce
+    # the identical stats, delivery schedule and FIFO clamps as the
+    # equivalent loop of unicast sends.
+    results = []
+    for use_multicast in (False, True):
+        sim, net, boxes = _fanout_build()
+        if not reliable:
+            net.latency = UniformLatency(0.01, 0.5, sim.rng.fork("lat"))
+        _fanout_drive(sim, net, use_multicast, reliable)
+        results.append((net.stats.as_dict(), boxes, sim.now,
+                        dict(net._fifo_clock)))
+    assert results[0] == results[1]
+
+
+def test_multicast_equals_loop_of_sends_traced():
+    # With a tracer installed both paths take the per-destination
+    # reference lane; the traced event streams must coincide exactly.
+    from repro.obs import tracer as obs
+
+    streams = []
+    for use_multicast in (False, True):
+        sim, net, boxes = _fanout_build()
+        recorder = obs.RecordingTracer()
+        obs.install(recorder)
+        try:
+            _fanout_drive(sim, net, use_multicast, reliable=True)
+        finally:
+            obs.uninstall()
+        net_events = [e for e in recorder.events
+                      if e["kind"].startswith("net.")]
+        streams.append((net_events, net.stats.as_dict(), boxes))
+    assert streams[0] == streams[1]
+
+
+def test_multicast_unregistered_source_rejected():
+    sim, net, _ = _fanout_build()
+    with pytest.raises(NodeNotRegistered):
+        net.multicast("ghost", ["a", "b"], "x")
+
+
+def test_multicast_to_only_self_is_a_noop():
+    sim, net, _ = _fanout_build()
+    net.multicast("a", ["a"], "x", size_bytes=10)
+    assert net.stats.datagrams_sent == 0
+    assert net.stats.bytes_sent == 0
+
+
+# -- FIFO clamp under the per-pair latency memo -------------------------------
+
+
+def test_fifo_clamp_with_memoized_latency():
+    # ConstantLatency is memoized per pair; back-to-back reliable sends
+    # at the same instant must still be clamped into FIFO order (each
+    # arrival lands no earlier than its predecessor's).
+    sim = Simulator()
+    net = make_net(sim, latency=ConstantLatency(0.05))
+    received = []
+    net.register("a", collector([]))
+    net.register("b", collector(received))
+    for index in range(10):
+        net.send("a", "b", index, reliable=True)
+    assert net._delay_cache  # the memo actually engaged
+    sim.run_until_idle()
+    assert [payload for _, payload, _ in received] == list(range(10))
+
+
+def test_fifo_clamp_survives_heal_flush_with_memoized_latency():
+    # Datagrams queued behind a partition flush on heal; the flushed
+    # stream and everything sent after it must stay FIFO per pair even
+    # though every delay now comes from the per-pair memo.
+    sim = Simulator()
+    net = make_net(sim, latency=ConstantLatency(0.05))
+    received = []
+    net.register("a", collector([]))
+    net.register("b", collector(received))
+    net.send("a", "b", "before")
+    net.partition(["a"], ["b"])
+    for index in range(3):
+        net.send("a", "b", ("queued", index), reliable=True)
+    sim.run(until=1.0)
+    net.heal()
+    net.send("a", "b", "after", reliable=True)
+    sim.run_until_idle()
+    payloads = [payload for _, payload, _ in received]
+    assert payloads == ["before", ("queued", 0), ("queued", 1),
+                        ("queued", 2), "after"]
+    # Arrival times were monotone (the clamp held across the flush).
+    clamp = net._fifo_clock[("a", "b")]
+    assert clamp >= 1.0 + 0.05

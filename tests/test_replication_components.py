@@ -265,3 +265,90 @@ class TestFacadeSurface:
         sim.run_until_idle()
         assert cache.engine.counters["tx:demand"] == 1
         assert cache.state()["index.html"]["content"] == "seed"
+
+
+class _RecordingControl:
+    """Minimal control stub: captures requests, never replies."""
+
+    def __init__(self):
+        self.requests = []
+
+    def now(self):
+        return 0.0
+
+    def request(self, dst, message, timeout=None, retries=0):
+        from repro.sim.future import Future
+
+        self.requests.append((dst, message))
+        return Future()
+
+
+class TestReadRequestSizing:
+    """The client assembles read-request sizes from cached parts; the
+    arithmetic must equal a fresh ``estimate_size`` walk over the body."""
+
+    def _client(self, **kwargs):
+        from repro.coherence.models import SessionGuarantee
+        from repro.replication.client import ClientReplicationObject
+
+        client = ClientReplicationObject(
+            "c1", read_store="cache",
+            guarantees={SessionGuarantee.READ_YOUR_WRITES,
+                        SessionGuarantee.MONOTONIC_READS},
+            **kwargs,
+        )
+        client.attach(_RecordingControl())
+        return client
+
+    def _sent_message(self, client):
+        return client.control.requests[-1][1]
+
+    def assert_size_pinned(self, message):
+        from repro.comm.message import envelope_cost, estimate_size
+
+        walked = envelope_cost(message.kind) + estimate_size(message.body)
+        assert message.payload_size() == walked
+
+    def test_plain_read_size_matches_walk(self):
+        client = self._client()
+        invocation = MarshalledInvocation("read_page", ("index.html",))
+        client.handle_invocation(invocation)
+        self.assert_size_pinned(self._sent_message(client))
+
+    def test_weighted_read_size_matches_walk(self):
+        client = self._client()
+        invocation = MarshalledInvocation("read_page", ("index.html",))
+        client.handle_invocation(invocation, weight=25)
+        message = self._sent_message(client)
+        assert message.body["weight"] == 25
+        self.assert_size_pinned(message)
+
+    def test_size_tracks_session_growth(self):
+        # After observing reads/writes the session wire dict grows; the
+        # cached-parts arithmetic must track it exactly.
+        from repro.coherence.vector_clock import VectorClock
+
+        client = self._client()
+        client.session.observe_write(client.session.mint_wid(), "cache")
+        client.session.observe_read(VectorClock({"w": 3, "c1": 1}))
+        invocation = MarshalledInvocation("read_page", ("a.html",))
+        client.handle_invocation(invocation)
+        self.assert_size_pinned(self._sent_message(client))
+
+    def test_repeat_reads_share_cached_encoding(self):
+        client = self._client()
+        invocation = MarshalledInvocation("read_page", ("index.html",))
+        client.handle_invocation(invocation)
+        first = self._sent_message(client).body["invocation"]
+        client.handle_invocation(
+            MarshalledInvocation("read_page", ("index.html",)))
+        second = self._sent_message(client).body["invocation"]
+        assert second is first  # shared by reference, equal by value
+        self.assert_size_pinned(self._sent_message(client))
+
+    def test_unhashable_args_fall_back_to_uncached(self):
+        client = self._client()
+        invocation = MarshalledInvocation("read_page", (["list-arg"],))
+        client.handle_invocation(invocation)
+        self.assert_size_pinned(self._sent_message(client))
+        assert not client._read_encodings

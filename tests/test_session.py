@@ -104,3 +104,47 @@ class TestSessionState:
         assert wire["last_write"] == "m:2"
         assert wire["requirement"] == {"m": 2}
         assert wire["guarantees"] == ["read-your-writes"]
+
+
+class TestWireCache:
+    def test_to_wire_is_cached_until_state_changes(self):
+        session = SessionState("c", guarantees=frozenset({RYW, MR}))
+        first = session.to_wire()
+        assert session.to_wire() is first  # cached by reference
+
+    def test_observe_write_invalidates(self):
+        session = SessionState("c", guarantees=frozenset({RYW}))
+        before = session.to_wire()
+        session.observe_write(session.mint_wid(), "store")
+        after = session.to_wire()
+        assert after is not before
+        assert after["last_write"] != before["last_write"]
+
+    def test_observe_read_invalidates_only_on_merge_change(self):
+        session = SessionState("c", guarantees=frozenset({MR}))
+        session.observe_read(VectorClock({"x": 4}))
+        cached = session.to_wire()
+        # A dominated version changes nothing: the cache survives.
+        session.observe_read(VectorClock({"x": 3}))
+        assert session.to_wire() is cached
+        # A newer component must rebuild the requirement.
+        session.observe_read(VectorClock({"x": 5}))
+        fresh = session.to_wire()
+        assert fresh is not cached
+        assert fresh["requirement"] != cached["requirement"]
+
+    def test_with_guarantees_invalidates(self):
+        session = SessionState("c")
+        before = session.to_wire()
+        widened = session.with_guarantees({MR})
+        assert widened.to_wire() is not before
+        assert widened.to_wire()["guarantees"] == ["monotonic-reads"]
+
+    def test_wire_sized_matches_fresh_walk(self):
+        from repro.comm.message import estimate_size
+
+        session = SessionState("c", guarantees=frozenset({RYW, MR, WFR}))
+        session.observe_write(session.mint_wid(), "store")
+        session.observe_read(VectorClock({"c": 1, "x": 9}))
+        wire, size = session.wire_sized()
+        assert size == estimate_size(wire)

@@ -1,5 +1,7 @@
 """Unit and property tests for the seeded RNG."""
 
+import random
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -110,3 +112,23 @@ def test_sample_and_shuffle_deterministic():
     a.shuffle(la)
     b.shuffle(lb)
     assert la == lb
+
+
+def test_lazy_materialization_matches_eager_random():
+    # The MT state is built on first draw, not at construction; the
+    # stream must equal a random.Random seeded identically.
+    rng = SeededRng(1234)
+    assert rng._random is None  # nothing materialized yet
+    reference = random.Random(1234)
+    assert rng.random() == reference.random()
+    assert rng.uniform(0, 10) == reference.uniform(0, 10)
+    assert rng.randint(0, 99) == reference.randint(0, 99)
+
+
+def test_fork_does_not_materialize_parent():
+    parent = SeededRng(7)
+    children = [parent.fork(f"c{i}") for i in range(5)]
+    assert parent._random is None
+    assert all(child._random is None for child in children)
+    # Forking never consumed parent draws: the stream starts fresh.
+    assert parent.random() == random.Random(7).random()
